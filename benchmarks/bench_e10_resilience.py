@@ -1,0 +1,10 @@
+"""E10: safety under randomized hostile schedules + physical testbed."""
+
+from conftest import run_and_record
+
+
+def test_e10_resilience(benchmark):
+    tables = run_and_record(benchmark, "E10")
+    main = tables[0]
+    assert all(v == 0 for v in main.column("agreement_violations"))
+    assert all(v == 0 for v in main.column("validity_violations"))

@@ -1,0 +1,58 @@
+"""E11: simulator engineering numbers — rounds/second of the round engine.
+
+Not a paper artifact, but the number a downstream user asks first: how
+fast does the simulator turn rounds over, and how does that scale with n?
+The benchmark drives Algorithm 2 under a lossy channel (the representative
+workload) and, separately, the raw engine with scripted processes (the
+upper bound on achievable throughput).
+"""
+
+import pytest
+
+from repro.adversary.loss import IIDLoss
+from repro.algorithms.alg2 import algorithm_2
+from repro.contention.services import NoContentionManager
+from repro.core.algorithm import Algorithm
+from repro.core.environment import Environment
+from repro.core.execution import ExecutionEngine, run_consensus
+from repro.core.process import ScriptedProcess
+from repro.detectors.classes import ZERO_AC
+from repro.experiments.scenarios import zero_oac_environment
+
+VALUES = list(range(256))
+ROUNDS = 200
+
+
+def raw_engine_rounds(n: int) -> int:
+    env = Environment(
+        indices=tuple(range(n)),
+        detector=ZERO_AC.make(),
+        contention=NoContentionManager(),
+        loss=IIDLoss(0.3, seed=0),
+    )
+    env.reset()
+    algo = Algorithm(
+        lambda i: ScriptedProcess(["m"] * ROUNDS), anonymous=False
+    )
+    engine = ExecutionEngine(env, algo.spawn_all(env.indices))
+    engine.run(ROUNDS, until_all_decided=False)
+    return engine.round
+
+
+@pytest.mark.parametrize("n", [4, 16, 64])
+def test_e11_raw_engine_throughput(benchmark, n):
+    completed = benchmark(raw_engine_rounds, n)
+    assert completed == ROUNDS
+
+
+@pytest.mark.parametrize("n", [4, 16])
+def test_e11_alg2_end_to_end_throughput(benchmark, n):
+    def run():
+        env = zero_oac_environment(n, cst=5, seed=1)
+        assignment = {i: VALUES[(i * 31) % 256] for i in range(n)}
+        return run_consensus(
+            env, algorithm_2(VALUES), assignment, max_rounds=100
+        )
+
+    result = benchmark(run)
+    assert result.all_correct_decided()

@@ -1,0 +1,9 @@
+"""E12: anonymous counting — k-wake-up solvable, leader-election not."""
+
+from conftest import run_and_record
+
+
+def test_e12_counting(benchmark):
+    convergence, impossibility = run_and_record(benchmark, "E12")
+    assert all(convergence.column("converged"))
+    assert all(impossibility.column("counting_defeated"))

@@ -1,0 +1,12 @@
+"""E13: time-varying completeness (the conclusion's open questions)."""
+
+from conftest import run_and_record
+
+
+def test_e13_eventual_completeness(benchmark):
+    (table,) = run_and_record(benchmark, "E13")
+    outcomes = [str(o) for o in table.column("outcome")]
+    assert any("violation: agreement" in o for o in outcomes)
+    assert any("solved within Theorem 2 bound" in o for o in outcomes)
+    assert any("constant-round decision" in o for o in outcomes)
+    assert not any("FAILED" in o for o in outcomes)

@@ -1,0 +1,17 @@
+"""E14: the Section 1.4 applications — aggregation + cluster voting."""
+
+from conftest import run_and_record
+
+
+def test_e14_applications(benchmark):
+    aggregation, clustering = run_and_record(benchmark, "E14")
+    # Consensus-hardened aggregation is exact at every loss rate; the
+    # naive pipeline degrades as loss grows.
+    assert all(v == 1.0 for v in aggregation.column("consensus_exact"))
+    naive = aggregation.column("naive_exact")
+    assert naive[0] > naive[-1]
+    # Clustering always agrees, and wins once the source is far away.
+    assert all(clustering.column("all_agreed"))
+    costs = list(zip(clustering.column("naive_hop_cost"),
+                     clustering.column("clustered_hop_cost")))
+    assert costs[-1][1] < costs[-1][0]

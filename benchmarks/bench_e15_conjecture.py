@@ -1,0 +1,11 @@
+"""E15: Conjecture 1 exploration — overlapping vs disjoint universes."""
+
+from conftest import run_and_record
+
+
+def test_e15_conjecture_exploration(benchmark):
+    (table,) = run_and_record(benchmark, "E15")
+    assert all(table.column("overlap_dominates"))
+    # The adversary's empirical reach grows with |I| in both universes.
+    ks = table.column("k_overlapping")
+    assert ks == sorted(ks)

@@ -1,0 +1,16 @@
+"""E16: the multihop flooding preview (conclusion's future work)."""
+
+from conftest import run_and_record
+
+
+def test_e16_multihop_flood(benchmark):
+    (table,) = run_and_record(benchmark, "E16")
+    rows = {
+        (r["topology"], r["strategy"], r["channel"]): r["completed"]
+        for r in table.rows
+    }
+    # Blind flooding deadlocks on the grid under total collision...
+    assert rows[("grid-4x4", "blind", "total")] is False
+    # ...but backoff and the capture channel both recover.
+    assert rows[("grid-4x4", "backoff", "total")] is True
+    assert rows[("grid-4x4", "blind", "capture")] is True

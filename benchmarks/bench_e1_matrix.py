@@ -1,0 +1,9 @@
+"""E1: regenerate the Figure 1 / Section 1.5 solvability matrix."""
+
+from conftest import run_and_record
+
+
+def test_e1_solvability_matrix(benchmark):
+    (table,) = run_and_record(benchmark, "E1")
+    measured = " ".join(str(m) for m in table.column("measured"))
+    assert "FAILED" not in measured and "UNEXPECTED" not in measured

@@ -1,0 +1,9 @@
+"""E2: Algorithm 1's CST + 2 termination across n, CST, seeds (Theorem 1)."""
+
+from conftest import run_and_record
+
+
+def test_e2_alg1_termination(benchmark):
+    (table,) = run_and_record(benchmark, "E2")
+    assert all(table.column("within_bound"))
+    assert all(table.column("agreement"))

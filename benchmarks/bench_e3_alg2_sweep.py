@@ -1,0 +1,10 @@
+"""E3: Algorithm 2's Θ(lg|V|) growth curve (Theorem 2)."""
+
+from conftest import run_and_record
+
+
+def test_e3_alg2_value_sweep(benchmark):
+    (table,) = run_and_record(benchmark, "E3")
+    rounds = table.column("rounds_after_cst")
+    assert rounds == sorted(rounds)
+    assert all(table.column("within_bound"))

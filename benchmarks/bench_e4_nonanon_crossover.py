@@ -1,0 +1,9 @@
+"""E4: the non-anonymous min{lg|V|, lg|I|} crossover (Corollary 3)."""
+
+from conftest import run_and_record
+
+
+def test_e4_nonanon_crossover(benchmark):
+    (table,) = run_and_record(benchmark, "E4")
+    assert {"leader-elect", "alg2-on-values"} <= set(table.column("branch"))
+    assert all(table.column("within_bound"))

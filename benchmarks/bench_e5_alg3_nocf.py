@@ -1,0 +1,9 @@
+"""E5: Algorithm 3 under NOCF, including crash-induced re-ascent (Thm 3)."""
+
+from conftest import run_and_record
+
+
+def test_e5_alg3_nocf(benchmark):
+    (table,) = run_and_record(benchmark, "E5")
+    assert all(table.column("within_bound"))
+    assert all(table.column("solved"))

@@ -1,0 +1,8 @@
+"""E6: impossibility witnesses (Theorems 4, 5, 8)."""
+
+from conftest import run_and_record
+
+
+def test_e6_impossibility_witnesses(benchmark):
+    (table,) = run_and_record(benchmark, "E6")
+    assert all(table.column("as_expected"))

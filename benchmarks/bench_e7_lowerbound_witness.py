@@ -1,0 +1,8 @@
+"""E7: round-complexity lower-bound witnesses (Theorems 6, 7, 9)."""
+
+from conftest import run_and_record
+
+
+def test_e7_round_complexity_witnesses(benchmark):
+    (table,) = run_and_record(benchmark, "E7")
+    assert all(table.column("as_expected"))

@@ -1,0 +1,10 @@
+"""E8: the majority-complete vs half-complete ablation."""
+
+from conftest import run_and_record
+
+
+def test_e8_completeness_ablation(benchmark):
+    (table,) = run_and_record(benchmark, "E8")
+    outcomes = table.column("outcome")
+    assert any("VIOLATED" in str(o) for o in outcomes)
+    assert any("agreement holds" in str(o) for o in outcomes)

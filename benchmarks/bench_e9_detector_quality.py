@@ -1,0 +1,22 @@
+"""E9: substrate calibration — radio loss, detector classes, clock skew."""
+
+from conftest import run_and_record
+
+
+def test_e9a_radio_loss(benchmark):
+    (table,) = run_and_record(benchmark, "E9a")
+    by_b = dict(zip(table.column("broadcasters"),
+                    table.column("loss_fraction")))
+    assert by_b[1] < 0.05 and by_b[2] < by_b[3]
+
+
+def test_e9b_carrier_sense_classes(benchmark):
+    (table,) = run_and_record(benchmark, "E9b")
+    for row in table.rows:
+        assert row["zero"] > 0.99
+        assert row["majority"] > 0.9
+
+
+def test_e9c_clock_skew(benchmark):
+    (table,) = run_and_record(benchmark, "E9c")
+    assert all(table.column("aligned"))

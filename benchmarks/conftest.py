@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one evaluation artifact (see DESIGN.md's
+experiment index): it runs the experiment exactly once under
+pytest-benchmark timing, prints the resulting tables (the "rows the paper
+reports"), and archives them under ``benchmarks/results/`` so the output
+survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def run_and_record(benchmark, exp_id: str):
+    """Run experiment ``exp_id`` once, timed, and archive its tables."""
+    from repro.experiments import REGISTRY
+
+    experiment = REGISTRY.get(exp_id)
+    tables = benchmark.pedantic(experiment.run, rounds=1, iterations=1)
+    rendered = "\n\n".join(t.render() for t in tables)
+    banner = f"[{experiment.exp_id}] {experiment.title} ({experiment.paper_ref})"
+    output = f"{banner}\n\n{rendered}\n"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{exp_id}.txt").write_text(output)
+    print("\n" + output)
+    return tables

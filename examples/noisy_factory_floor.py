@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Actuator coordination with NO delivery guarantee (§7.4 / Algorithm 3).
+
+The paper's motivating high-stakes example: actuator-equipped devices
+reconfiguring a factory assembly line, where acting on disagreeing
+commands is unacceptable.  On a floor saturated with interference the
+channel may *never* deliver a full message — yet with an accurate,
+zero-complete collision detector (carrier sensing that never lies),
+Algorithm 3 still reaches consensus by navigating a search tree over the
+command space using only one bit per round ("somebody broadcast" vs
+"silence").
+
+The demo runs under total message loss, then under random 70% loss, then
+with a mid-run crash, and shows agreement + validity in all three.
+
+Run:  python examples/noisy_factory_floor.py
+"""
+
+from repro.adversary.crash import ScheduledCrashes
+from repro.adversary.loss import IIDLoss, SilenceLoss
+from repro.algorithms import algorithm_3
+from repro.core import evaluate, run_consensus
+from repro.experiments.scenarios import nocf_environment
+
+#: The command space: (line id, target speed) reconfiguration commands.
+COMMANDS = [f"line-{line}:speed-{speed}" for line in range(4)
+            for speed in (25, 50, 75, 100)]
+
+
+def run(name, loss=None, crash=None, proposals=None):
+    members = list(range(4))
+    proposals = proposals or {
+        0: COMMANDS[3], 1: COMMANDS[9], 2: COMMANDS[9], 3: COMMANDS[14],
+    }
+    env = nocf_environment(len(members), loss=loss, crash=crash)
+    result = run_consensus(
+        env, algorithm_3(COMMANDS), proposals, max_rounds=300
+    )
+    report = evaluate(result)
+    decided = result.decided_values()
+    print(f"--- {name}")
+    print(f"  proposals : {sorted(set(proposals.values()))}")
+    print(f"  decision  : {sorted(set(decided.values()))}")
+    print(f"  rounds    : {result.last_decision_round()}")
+    print(f"  agreement : {report.agreement}   "
+          f"validity: {report.strong_validity}")
+    assert report.agreement and report.strong_validity, report.problems
+    return result
+
+
+def main() -> None:
+    print(f"|command space| = {len(COMMANDS)}; "
+          "channel never guarantees delivery (NOCF)\n")
+    run("total silence: every message lost, forever", loss=SilenceLoss())
+    print()
+    run("random 70% loss, arbitrary per receiver",
+        loss=IIDLoss(0.7, seed=13))
+    print()
+    run("total silence + coordinator crash at round 9",
+        loss=SilenceLoss(),
+        crash=ScheduledCrashes.at({9: [0]}),
+        proposals={0: COMMANDS[0], 1: COMMANDS[12],
+                   2: COMMANDS[12], 3: COMMANDS[12]})
+    print("\nAll three scenarios safe: no actuator ever received a "
+          "conflicting command.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Quickstart: fault-tolerant consensus over an unreliable radio channel.
+
+Five anonymous devices, each holding a proposed configuration value, must
+agree on one — while the channel drops 30% of messages, the collision
+detector produces false positives for a while, and the contention manager
+is still thrashing.  This is Algorithm 2 of the paper (zero-complete,
+eventually-accurate detection), the most broadly applicable algorithm:
+every practical detector class can run it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import evaluate, quick_consensus
+
+
+def main() -> None:
+    values = ["channel-1", "channel-6", "channel-11"]
+    result = quick_consensus(values=values, n=5, loss_rate=0.3, seed=7)
+
+    report = evaluate(result)
+    print("proposals :", result.initial_values)
+    print("decisions :", result.decisions)
+    print("rounds    :", result.rounds)
+    print("agreement :", report.agreement)
+    print("validity  :", report.strong_validity)
+    print("terminated:", report.termination)
+    assert report.solved, report.problems
+    print("\nconsensus reached on:",
+          next(iter(result.decided_values().values())))
+
+
+if __name__ == "__main__":
+    main()

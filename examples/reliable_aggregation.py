@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Consensus-hardened data aggregation and cluster voting (§1.4).
+
+The paper motivates single-hop consensus with two sensor-network
+pipelines, both implemented in ``repro.applications``:
+
+* spanning-tree aggregation, where lossy links silently drop subtree
+  contributions unless each sibling group agrees (via max-consensus) on
+  the value it passes up;
+* Kumar-style cluster voting, where each clique agrees on one report so
+  only |clusters| messages travel the long haul to the source.
+
+Run:  python examples/reliable_aggregation.py
+"""
+
+import random
+
+from repro.applications import (
+    ClusteredNetwork,
+    aggregate_naive,
+    aggregate_with_consensus,
+    cluster_vote,
+)
+
+DOMAIN = list(range(64))
+
+
+def main() -> None:
+    rng = random.Random(42)
+    readings = [rng.randrange(64) for _ in range(16)]
+    print(f"16 sensors, readings max = {max(readings)}, 40% message loss\n")
+
+    print("-- naive push-up aggregation (10 trials)")
+    wrong = 0
+    for seed in range(10):
+        outcome = aggregate_naive(readings, loss_rate=0.4, seed=seed)
+        wrong += int(not outcome.exact)
+        print(f"   trial {seed}: root got {outcome.result} "
+              f"{'(WRONG, silently)' if not outcome.exact else '(exact)'}")
+    print(f"   silent errors: {wrong}/10\n")
+
+    print("-- consensus-hardened aggregation (10 trials)")
+    for seed in range(10):
+        outcome = aggregate_with_consensus(
+            readings, DOMAIN, loss_rate=0.4, seed=seed
+        )
+        assert outcome.exact and outcome.safety_ok
+    print("   exact in 10/10 trials "
+          f"({outcome.consensus_groups} consensus groups per trial)\n")
+
+    print("-- Kumar cluster voting, source 32 hops away")
+    network = ClusteredNetwork(n=24, cluster_size=4, base_distance=32)
+    cluster_readings = {i: rng.randrange(64) for i in range(24)}
+    reports = cluster_vote(network, cluster_readings, DOMAIN, seed=1)
+    naive_cost = network.naive_transport_cost()
+    clustered_cost = network.clustered_transport_cost(reports)
+    for c, report in enumerate(reports):
+        print(f"   cluster {c} {report.members}: agreed on "
+              f"{report.decision} in {report.rounds} rounds")
+    print(f"   transport: naive {naive_cost} hop-messages vs clustered "
+          f"{clustered_cost} ({100 * (1 - clustered_cost / naive_cost):.0f}% saved)")
+    assert all(r.agreement_ok and r.every_member_voted for r in reports)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: this environment has no `wheel` package, so PEP 517
+editable installs fail; `setup.py develop` via pip's legacy path works."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""Command-line entry point: regenerate the paper's evaluation.
+
+Usage::
+
+    python -m repro                 # list available experiments
+    python -m repro all             # run the full evaluation
+    python -m repro E3 E8           # run selected experiments
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv: list) -> int:
+    from .experiments import REGISTRY, render_all
+
+    if not argv:
+        print("repro — Consensus and Collision Detectors (PODC 2005)")
+        print("\nAvailable experiments:")
+        for experiment in REGISTRY.all():
+            print(f"  {experiment.exp_id:<4} {experiment.title}")
+            print(f"       ({experiment.paper_ref})")
+        print("\nRun with: python -m repro all | <experiment ids>")
+        return 0
+    if argv == ["all"]:
+        print(render_all())
+        return 0
+    unknown = [a for a in argv if a not in REGISTRY.ids()]
+    if unknown:
+        print(f"unknown experiment id(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        print(f"known: {', '.join(REGISTRY.ids())}", file=sys.stderr)
+        return 2
+    for exp_id in argv:
+        print(REGISTRY.get(exp_id).render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,167 @@
+"""Crash adversaries (Definition 11, constraint 2 / Section 3.3).
+
+Any process may crash in any round.  The model's nondeterminism allows two
+timings, both of which we support:
+
+* ``after_send=True`` — the process broadcasts its round-``r`` message and
+  then fails instead of transitioning (the literal reading of constraint 2:
+  ``M_r`` comes from ``C_{r-1}`` but ``C_r`` is the fail state);
+* ``after_send=False`` — the process is already failed when round ``r``
+  starts, so it stays silent (equivalent to crashing between rounds).
+
+Crashes are permanent: the engine never steps a crashed process again.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import random
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+from ..core.errors import ConfigurationError
+from ..core.types import ProcessId
+
+
+@dataclasses.dataclass(frozen=True)
+class CrashEvent:
+    """One crash: which process, and whether its final broadcast goes out."""
+
+    pid: ProcessId
+    after_send: bool = True
+
+
+class CrashAdversary(abc.ABC):
+    """Chooses which live processes crash in each round."""
+
+    @abc.abstractmethod
+    def crashes(
+        self, round_index: int, live: Sequence[ProcessId]
+    ) -> Tuple[CrashEvent, ...]:
+        """Crash events for ``round_index`` among the ``live`` processes."""
+
+    def reset(self) -> None:
+        """Forget internal state before a fresh execution (default: none)."""
+
+    @property
+    def last_crash_round(self):
+        """Upper bound on crash activity, when known (else ``None``).
+
+        Algorithm 3's termination bound is phrased "after failures cease";
+        experiments use this to anchor the measurement.
+        """
+        return None
+
+
+class NoCrashes(CrashAdversary):
+    """The failure-free adversary."""
+
+    def crashes(
+        self, round_index: int, live: Sequence[ProcessId]
+    ) -> Tuple[CrashEvent, ...]:
+        return ()
+
+    @property
+    def last_crash_round(self) -> int:
+        return 0
+
+
+class ScheduledCrashes(CrashAdversary):
+    """Crashes at explicitly scripted (round, process) points.
+
+    ``schedule`` maps a round to the events occurring in that round.  Events
+    naming already-crashed or unknown processes are ignored, mirroring the
+    model (crashing a failed process is a no-op).
+    """
+
+    def __init__(
+        self, schedule: Mapping[int, Iterable[CrashEvent]]
+    ) -> None:
+        self._schedule: Dict[int, Tuple[CrashEvent, ...]] = {}
+        for round_index, events in schedule.items():
+            if round_index < 1:
+                raise ConfigurationError("crash rounds are 1-based")
+            self._schedule[round_index] = tuple(events)
+
+    @classmethod
+    def at(
+        cls, schedule: Mapping[int, Iterable[ProcessId]], after_send: bool = True
+    ) -> "ScheduledCrashes":
+        """Shorthand: ``{round: [pids]}`` with a uniform send timing."""
+        return cls(
+            {
+                r: [CrashEvent(pid, after_send=after_send) for pid in pids]
+                for r, pids in schedule.items()
+            }
+        )
+
+    def crashes(
+        self, round_index: int, live: Sequence[ProcessId]
+    ) -> Tuple[CrashEvent, ...]:
+        live_set = set(live)
+        return tuple(
+            ev
+            for ev in self._schedule.get(round_index, ())
+            if ev.pid in live_set
+        )
+
+    @property
+    def last_crash_round(self) -> int:
+        return max(self._schedule, default=0)
+
+
+class SeededRandomCrashes(CrashAdversary):
+    """Independent per-round crash coin flips, bounded in count and time.
+
+    Each live process crashes with probability ``p`` per round, up to
+    ``max_crashes`` total, and never after ``deadline`` (so termination
+    measurements "after failures cease" remain meaningful).  At least one
+    process is always spared: the consensus properties are only interesting
+    when a correct process exists.
+    """
+
+    def __init__(
+        self,
+        p: float,
+        max_crashes: int,
+        deadline: int,
+        seed: int = 0,
+        after_send: bool = True,
+    ) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError("crash probability must be in [0,1]")
+        if max_crashes < 0:
+            raise ConfigurationError("max_crashes must be >= 0")
+        if deadline < 0:
+            raise ConfigurationError("deadline must be >= 0")
+        self.p = p
+        self.max_crashes = max_crashes
+        self.deadline = deadline
+        self.seed = seed
+        self.after_send = after_send
+        self._rng = random.Random(seed)
+        self._crashed = 0
+
+    def crashes(
+        self, round_index: int, live: Sequence[ProcessId]
+    ) -> Tuple[CrashEvent, ...]:
+        if round_index > self.deadline or self._crashed >= self.max_crashes:
+            return ()
+        events = []
+        for pid in sorted(live):
+            if len(live) - len(events) <= 1:
+                break  # always spare at least one process
+            if self._crashed + len(events) >= self.max_crashes:
+                break
+            if self._rng.random() < self.p:
+                events.append(CrashEvent(pid, after_send=self.after_send))
+        self._crashed += len(events)
+        return tuple(events)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._crashed = 0
+
+    @property
+    def last_crash_round(self) -> int:
+        return self.deadline

@@ -1,0 +1,372 @@
+"""Message-loss adversaries (Definition 11, constraint 4 / Property 1).
+
+The model allows any process to lose any subset of the messages broadcast
+by *other* processes in any round (broadcasters always receive their own
+message — constraint 5, which the engine enforces regardless of what an
+adversary says).  A loss adversary answers one question per (round,
+receiver): *which senders' messages are dropped here?*
+
+The interface is deliberately per-receiver so adversaries can create the
+non-uniform receive sets the paper motivates with the capture effect
+(Section 1.1): two listeners within range of the same two broadcasters may
+receive different messages.
+
+:class:`EventualCollisionFreedom` is the Property 1 wrapper: it delegates
+to an inner adversary until ``r_cf`` and thereafter forces delivery in
+single-broadcaster rounds (multi-broadcaster rounds stay at the inner
+adversary's mercy — ECF promises nothing about them).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import (
+    AbstractSet,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+)
+
+from ..core.errors import ConfigurationError
+from ..core.types import ProcessId
+
+#: The empty drop set, shared to avoid churn in the hot path.
+_NO_LOSS: FrozenSet[ProcessId] = frozenset()
+
+
+class LossAdversary(abc.ABC):
+    """Chooses, per round and receiver, which senders' messages are lost."""
+
+    @abc.abstractmethod
+    def losses(
+        self,
+        round_index: int,
+        senders: Sequence[ProcessId],
+        receiver: ProcessId,
+    ) -> AbstractSet[ProcessId]:
+        """Senders whose message ``receiver`` loses in ``round_index``.
+
+        ``senders`` lists every process that broadcast this round.  The
+        returned set may include ``receiver`` itself but the engine ignores
+        that entry: self-delivery is unconditional in the model.
+        """
+
+    def reset(self) -> None:
+        """Forget internal state before a fresh execution (default: none)."""
+
+    @property
+    def r_cf(self) -> Optional[int]:
+        """The round from which Property 1 (ECF) holds, if promised."""
+        return None
+
+
+class ReliableDelivery(LossAdversary):
+    """No loss at all: every receiver gets every message.
+
+    Trivially satisfies ECF with ``r_cf = 1``.
+    """
+
+    def losses(
+        self,
+        round_index: int,
+        senders: Sequence[ProcessId],
+        receiver: ProcessId,
+    ) -> AbstractSet[ProcessId]:
+        return _NO_LOSS
+
+    @property
+    def r_cf(self) -> int:
+        return 1
+
+
+class SilenceLoss(LossAdversary):
+    """Total loss: every receiver loses every other process's message.
+
+    This is the harshest legal behaviour (only self-delivery survives) and
+    the backdrop of Theorem 9's ``NOCF`` setting.
+    """
+
+    def losses(
+        self,
+        round_index: int,
+        senders: Sequence[ProcessId],
+        receiver: ProcessId,
+    ) -> AbstractSet[ProcessId]:
+        return frozenset(s for s in senders if s != receiver)
+
+
+class IIDLoss(LossAdversary):
+    """Independent per-(receiver, sender) loss with probability ``p``.
+
+    Models the 20-50% loss regime the empirical studies in Section 1.1
+    report.  Fully seeded: the same seed replays the same loss pattern.
+    """
+
+    def __init__(self, p: float, seed: int = 0) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(f"loss probability must be in [0,1]: {p}")
+        self.p = p
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def losses(
+        self,
+        round_index: int,
+        senders: Sequence[ProcessId],
+        receiver: ProcessId,
+    ) -> AbstractSet[ProcessId]:
+        return {
+            s for s in senders if s != receiver and self._rng.random() < self.p
+        }
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+
+
+class CaptureEffectLoss(LossAdversary):
+    """Capture-effect loss: under contention, each receiver decodes at most
+    ``capture_limit`` of the competing messages, chosen per receiver.
+
+    With a single broadcaster the message is delivered (subject to
+    ``p_single_loss`` ambient loss, default 0).  With several broadcasters
+    each receiver independently "captures" a random subset of size at most
+    ``capture_limit`` — reproducing the A/B/C/D example of Section 1.1
+    where listeners within range of the same two senders end up with
+    different receive sets.
+    """
+
+    def __init__(
+        self,
+        capture_limit: int = 1,
+        p_single_loss: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if capture_limit < 0:
+            raise ConfigurationError("capture_limit must be >= 0")
+        if not 0.0 <= p_single_loss <= 1.0:
+            raise ConfigurationError("p_single_loss must be in [0,1]")
+        self.capture_limit = capture_limit
+        self.p_single_loss = p_single_loss
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def losses(
+        self,
+        round_index: int,
+        senders: Sequence[ProcessId],
+        receiver: ProcessId,
+    ) -> AbstractSet[ProcessId]:
+        others = [s for s in senders if s != receiver]
+        if not others:
+            return _NO_LOSS
+        if len(senders) == 1:
+            if self._rng.random() < self.p_single_loss:
+                return frozenset(others)
+            return _NO_LOSS
+        captured_count = self._rng.randint(
+            0, min(self.capture_limit, len(others))
+        )
+        captured = set(self._rng.sample(others, captured_count))
+        return {s for s in others if s not in captured}
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+
+
+class PartitionLoss(LossAdversary):
+    """Split the index set into groups; messages never cross groups.
+
+    Within a group, delivery follows ``intra`` (default: reliable).  This is
+    the workhorse of the impossibility constructions (Theorems 4, 8 and the
+    Lemma 23 compositions): two groups evolve side by side without ever
+    hearing each other.
+
+    ``until_round`` bounds the partition: from the next round on, no loss
+    (used by Theorem 4's γ execution, which must satisfy ECF).
+    """
+
+    def __init__(
+        self,
+        groups: Sequence[Iterable[ProcessId]],
+        intra: Optional[LossAdversary] = None,
+        until_round: Optional[int] = None,
+    ) -> None:
+        self._group_of: Dict[ProcessId, int] = {}
+        for g, members in enumerate(groups):
+            for pid in members:
+                if pid in self._group_of:
+                    raise ConfigurationError(
+                        f"process {pid} appears in two partition groups"
+                    )
+                self._group_of[pid] = g
+        self.intra = intra or ReliableDelivery()
+        self.until_round = until_round
+
+    def losses(
+        self,
+        round_index: int,
+        senders: Sequence[ProcessId],
+        receiver: ProcessId,
+    ) -> AbstractSet[ProcessId]:
+        if self.until_round is not None and round_index > self.until_round:
+            return _NO_LOSS
+        my_group = self._group_of.get(receiver)
+        cross = {
+            s
+            for s in senders
+            if s != receiver and self._group_of.get(s) != my_group
+        }
+        same_group = [
+            s for s in senders if self._group_of.get(s) == my_group
+        ]
+        intra_lost = self.intra.losses(round_index, same_group, receiver)
+        return cross | set(intra_lost)
+
+    def reset(self) -> None:
+        self.intra.reset()
+
+    @property
+    def r_cf(self) -> Optional[int]:
+        if self.until_round is None:
+            return None
+        return self.until_round + 1
+
+
+class AlphaLoss(LossAdversary):
+    """The alpha-execution delivery rule (Definition 24, rule 3).
+
+    * exactly one broadcaster  -> everyone receives the message;
+    * two or more broadcasters -> every receiver keeps only its own
+      message, all others are lost.
+
+    Satisfies ECF from round 1 by construction.
+    """
+
+    def losses(
+        self,
+        round_index: int,
+        senders: Sequence[ProcessId],
+        receiver: ProcessId,
+    ) -> AbstractSet[ProcessId]:
+        if len(senders) <= 1:
+            return _NO_LOSS
+        return {s for s in senders if s != receiver}
+
+    @property
+    def r_cf(self) -> int:
+        return 1
+
+
+class ScriptedLoss(LossAdversary):
+    """Loss driven by an explicit callable — the fully general adversary.
+
+    ``fn(round_index, senders, receiver)`` returns the senders dropped at
+    ``receiver``.  Lower-bound constructions use this to realise exactly
+    the receive behaviour their proofs prescribe.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[int, Sequence[ProcessId], ProcessId], AbstractSet[ProcessId]],
+        r_cf: Optional[int] = None,
+    ) -> None:
+        self._fn = fn
+        self._r_cf = r_cf
+
+    def losses(
+        self,
+        round_index: int,
+        senders: Sequence[ProcessId],
+        receiver: ProcessId,
+    ) -> AbstractSet[ProcessId]:
+        return self._fn(round_index, senders, receiver)
+
+    @property
+    def r_cf(self) -> Optional[int]:
+        return self._r_cf
+
+
+class ComposedLoss(LossAdversary):
+    """Union of several adversaries' drop sets: a message survives only if
+    *every* component delivers it.  Useful to stack ambient IID loss on top
+    of a structural pattern."""
+
+    def __init__(self, components: Sequence[LossAdversary]) -> None:
+        if not components:
+            raise ConfigurationError("ComposedLoss needs at least one component")
+        self.components = list(components)
+
+    def losses(
+        self,
+        round_index: int,
+        senders: Sequence[ProcessId],
+        receiver: ProcessId,
+    ) -> AbstractSet[ProcessId]:
+        dropped: Set[ProcessId] = set()
+        for component in self.components:
+            dropped.update(component.losses(round_index, senders, receiver))
+        return dropped
+
+    def reset(self) -> None:
+        for component in self.components:
+            component.reset()
+
+
+class EventualCollisionFreedom(LossAdversary):
+    """Property 1: single-broadcaster rounds deliver from ``r_cf`` on.
+
+    Wraps an arbitrary inner adversary.  Before ``r_cf`` the inner
+    adversary is unconstrained; from ``r_cf`` on, rounds with exactly one
+    broadcaster deliver to everyone, while multi-broadcaster rounds still
+    defer to the inner adversary (ECF says nothing about them).
+    """
+
+    def __init__(self, inner: LossAdversary, r_cf: int = 1) -> None:
+        if r_cf < 1:
+            raise ConfigurationError("r_cf must be >= 1")
+        self.inner = inner
+        self._r_cf = r_cf
+
+    def losses(
+        self,
+        round_index: int,
+        senders: Sequence[ProcessId],
+        receiver: ProcessId,
+    ) -> AbstractSet[ProcessId]:
+        if round_index >= self._r_cf and len(senders) == 1:
+            return _NO_LOSS
+        return self.inner.losses(round_index, senders, receiver)
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+    @property
+    def r_cf(self) -> int:
+        return self._r_cf
+
+
+def satisfies_ecf(
+    transmission_trace: Sequence,
+    received: Sequence[Mapping[ProcessId, int]],
+    r_cf: int,
+) -> bool:
+    """Check Property 1 over a finished execution's transmission data.
+
+    ``transmission_trace`` holds per-round ``(c, T)`` entries (any object
+    with ``broadcasters``); ``received`` the per-round ``T`` maps.  True
+    when every round ``r >= r_cf`` with exactly one broadcaster delivered
+    to every process.
+    """
+    for idx, entry in enumerate(transmission_trace):
+        round_index = idx + 1
+        if round_index < r_cf or entry.broadcasters != 1:
+            continue
+        if any(t != 1 for t in received[idx].values()):
+            return False
+    return True

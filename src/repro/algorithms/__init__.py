@@ -1,0 +1,48 @@
+"""The paper's consensus algorithms (Section 7) and baselines.
+
+* :mod:`repro.algorithms.alg1` — Algorithm 1 (maj-OAC + WS + ECF, O(1)).
+* :mod:`repro.algorithms.alg2` — Algorithm 2 (0-OAC + WS + ECF, Θ(lg|V|)).
+* :mod:`repro.algorithms.alg3` — Algorithm 3 (0-AC, NoCM, NOCF, O(lg|V|)).
+* :mod:`repro.algorithms.nonanonymous` — the Section 7.3 composite
+  (Θ(min{lg|V|, lg|I|})).
+* :mod:`repro.algorithms.baselines` — naive algorithms defeated by the
+  Section 8 lower-bound constructions.
+* Supporting structure: binary encodings, the Algorithm 3 value tree, and
+  message markers.
+"""
+
+from .alg1 import Alg1Process, algorithm_1
+from .alg1 import termination_bound as alg1_termination_bound
+from .alg2 import Alg2Process, algorithm_2, cycle_length
+from .alg2 import termination_bound as alg2_termination_bound
+from .alg3 import Alg3Process, algorithm_3
+from .alg3 import termination_bound as alg3_termination_bound
+from .counting import ANNOUNCE, CountingProcess, counting_algorithm
+from .baselines import (
+    EagerDecider,
+    NaiveMinConsensus,
+    eager_decider,
+    naive_min_consensus,
+)
+from .encoding import BinaryEncoding, bit_width, canonical_order
+from .markers import VETO, VOTE, Marker
+from .nonanonymous import (
+    LeaderElectProcess,
+    non_anonymous_algorithm,
+)
+from .nonanonymous import termination_bound as nonanon_termination_bound
+from .valuetree import TreeNode, ValueTree
+
+__all__ = [
+    "algorithm_1", "Alg1Process", "alg1_termination_bound",
+    "algorithm_2", "Alg2Process", "alg2_termination_bound", "cycle_length",
+    "algorithm_3", "Alg3Process", "alg3_termination_bound",
+    "non_anonymous_algorithm", "LeaderElectProcess",
+    "nonanon_termination_bound",
+    "eager_decider", "naive_min_consensus",
+    "counting_algorithm", "CountingProcess", "ANNOUNCE",
+    "EagerDecider", "NaiveMinConsensus",
+    "BinaryEncoding", "bit_width", "canonical_order",
+    "ValueTree", "TreeNode",
+    "Marker", "VETO", "VOTE",
+]

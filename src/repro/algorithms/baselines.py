@@ -1,0 +1,110 @@
+"""Deliberately naive baselines used by the impossibility experiments.
+
+The paper's lower bounds (Section 8) say: *any* algorithm that decides
+"too early" or ignores collision information can be forced into a safety
+violation.  To demonstrate those theorems as running code we need
+algorithms that actually make those mistakes.  These baselines are the
+counterpart of a broken comparator in a systems paper — they exist to be
+defeated, and the lower-bound harness (:mod:`repro.lowerbounds.theorems`)
+exhibits the violating executions mechanically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.algorithm import ConsensusAlgorithm
+from ..core.multiset import Multiset
+from ..core.process import Process
+from ..core.types import (
+    ACTIVE,
+    CollisionAdvice,
+    ContentionAdvice,
+    Message,
+    Value,
+)
+
+
+class EagerDecider(Process):
+    """Broadcasts for a fixed warm-up, then decides the minimum value heard.
+
+    Ignores collision advice entirely — exactly the mistake Theorem 4
+    punishes: without a useful detector you cannot tell whether the quiet
+    rounds you observed were agreement or partition.
+    """
+
+    def __init__(self, initial_value: Value, patience: int = 3) -> None:
+        super().__init__()
+        self.estimate = initial_value
+        self.patience = patience
+
+    def message(self, cm_advice: ContentionAdvice) -> Optional[Message]:
+        if self._round < self.patience and cm_advice is ACTIVE:
+            return self.estimate
+        return None
+
+    def transition(
+        self,
+        received: Multiset,
+        cd_advice: CollisionAdvice,
+        cm_advice: ContentionAdvice,
+    ) -> None:
+        values = list(received.support())
+        if values:
+            self.estimate = min([self.estimate] + values, key=repr)
+        if self._round + 1 >= self.patience:
+            self.decide(self.estimate)
+            self.halt()
+
+
+class NaiveMinConsensus(Process):
+    """Decide the minimum value heard after ``quiet_target`` quiet rounds.
+
+    "Quiet" here means *no new values*, judged purely from received
+    messages — collision advice is read but never trusted.  Under a clean
+    channel this reaches agreement; under the partition adversaries of
+    Theorems 4/8 the two halves each see a quiet network and decide their
+    own minima.
+    """
+
+    def __init__(self, initial_value: Value, quiet_target: int = 2) -> None:
+        super().__init__()
+        self.estimate = initial_value
+        self.quiet_target = quiet_target
+        self._quiet_streak = 0
+
+    def message(self, cm_advice: ContentionAdvice) -> Optional[Message]:
+        return self.estimate if cm_advice is ACTIVE else None
+
+    def transition(
+        self,
+        received: Multiset,
+        cd_advice: CollisionAdvice,
+        cm_advice: ContentionAdvice,
+    ) -> None:
+        new_values = [
+            v for v in received.support() if repr(v) < repr(self.estimate)
+        ]
+        if new_values:
+            self.estimate = min(new_values, key=repr)
+            self._quiet_streak = 0
+        else:
+            self._quiet_streak += 1
+        if self._quiet_streak >= self.quiet_target:
+            self.decide(self.estimate)
+            self.halt()
+
+
+def eager_decider(patience: int = 3) -> ConsensusAlgorithm:
+    """An anonymous algorithm that decides after ``patience`` rounds."""
+    return ConsensusAlgorithm.anonymous(
+        lambda v: EagerDecider(v, patience), name=f"eager-decider({patience})"
+    )
+
+
+def naive_min_consensus(quiet_target: int = 2) -> ConsensusAlgorithm:
+    """An anonymous algorithm that decides after a quiet streak."""
+    return ConsensusAlgorithm.anonymous(
+        lambda v: NaiveMinConsensus(v, quiet_target),
+        name=f"naive-min({quiet_target})",
+    )

@@ -1,0 +1,28 @@
+"""Shared message markers for the consensus algorithms.
+
+The pseudocode broadcasts bare markers (``veto``, ``vote``) whose content
+never matters — only *that* something was sent.  We use module-level
+singleton objects so markers can never collide with a value from ``V``
+(values are user-supplied and could be the string ``"veto"``).
+"""
+
+from __future__ import annotations
+
+
+class Marker:
+    """An inert, hashable, self-describing message token."""
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+
+    def __repr__(self) -> str:
+        return f"<{self.label}>"
+
+
+#: Negative-acknowledgement marker (Algorithms 1 and 2, accept phases).
+VETO = Marker("veto")
+
+#: Voting marker (Algorithm 3's vote phases and Algorithm 2's propose bits).
+VOTE = Marker("vote")

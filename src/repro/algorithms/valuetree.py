@@ -1,0 +1,120 @@
+"""The balanced binary search tree over ``V`` used by Algorithm 3 (§7.4).
+
+Algorithm 3 navigates a balanced BST whose nodes carry the values of ``V``;
+each search iteration votes on (value at current node, left subtree, right
+subtree).  All anonymous processes must build the *same* tree from the same
+``V``, so construction is canonical: sort ``V``, recurse on the midpoint.
+
+``parent`` of the root is the root itself, making the paper's "ascend to
+the parent" move total (ascending from the root is a harmless no-op — it
+can only occur transiently after crashes).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import FrozenSet, Iterable, List, Optional, Tuple
+
+from ..core.errors import ConfigurationError
+from ..core.types import Value
+from .encoding import canonical_order
+
+
+@dataclasses.dataclass
+class TreeNode:
+    """One node: its value plus the value sets of its two subtrees.
+
+    ``left_values`` / ``right_values`` answer the pseudocode's membership
+    tests ``estimate ∈ left[curr]`` in O(1).
+    """
+
+    value: Value
+    left_values: FrozenSet[Value]
+    right_values: FrozenSet[Value]
+    left: Optional["TreeNode"] = None
+    right: Optional["TreeNode"] = None
+    parent: Optional["TreeNode"] = None
+    depth: int = 0
+
+    def __repr__(self) -> str:
+        return f"TreeNode({self.value!r}, depth={self.depth})"
+
+
+class ValueTree:
+    """A canonical balanced BST over a value set."""
+
+    def __init__(self, values: Iterable[Value]) -> None:
+        ordered = canonical_order(values)
+        if not ordered:
+            raise ConfigurationError("value set must be non-empty")
+        if len(set(map(repr, ordered))) != len(ordered):
+            raise ConfigurationError("value set contains duplicates")
+        self._values: Tuple[Value, ...] = tuple(ordered)
+        self.root = self._build(list(ordered), depth=0)
+        self.root.parent = self.root  # ascending from the root is a no-op
+
+    def _build(self, vals: List[Value], depth: int) -> TreeNode:
+        mid = len(vals) // 2
+        node = TreeNode(
+            value=vals[mid],
+            left_values=frozenset(vals[:mid]),
+            right_values=frozenset(vals[mid + 1:]),
+            depth=depth,
+        )
+        if vals[:mid]:
+            node.left = self._build(vals[:mid], depth + 1)
+            node.left.parent = node
+        if vals[mid + 1:]:
+            node.right = self._build(vals[mid + 1:], depth + 1)
+            node.right.parent = node
+        return node
+
+    # ------------------------------------------------------------------
+    @property
+    def values(self) -> Tuple[Value, ...]:
+        """The canonically ordered value set."""
+        return self._values
+
+    @property
+    def height(self) -> int:
+        """Longest root-to-leaf edge count — at most ``⌈lg|V|⌉``."""
+        def depth_of(node: Optional[TreeNode]) -> int:
+            if node is None:
+                return -1
+            return 1 + max(depth_of(node.left), depth_of(node.right))
+
+        return depth_of(self.root)
+
+    def find(self, value: Value) -> TreeNode:
+        """Locate ``value``'s node (values are unique, so exactly one)."""
+        node: Optional[TreeNode] = self.root
+        while node is not None:
+            if value == node.value:
+                return node
+            if value in node.left_values:
+                node = node.left
+            elif value in node.right_values:
+                node = node.right
+            else:
+                break
+        raise ConfigurationError(f"value {value!r} not in the tree")
+
+    def nodes(self) -> List[TreeNode]:
+        """All nodes in-order (sorted by value)."""
+        out: List[TreeNode] = []
+
+        def walk(node: Optional[TreeNode]) -> None:
+            if node is None:
+                return
+            walk(node.left)
+            out.append(node)
+            walk(node.right)
+
+        walk(self.root)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:
+        return f"ValueTree(|V|={len(self._values)}, height={self.height})"

@@ -1,0 +1,38 @@
+"""The paper's motivating applications (Section 1.4), built on the library.
+
+Section 1.4 motivates single-hop consensus with concrete sensor-network
+uses; this package implements two of them end to end, as the downstream
+code a practitioner would write on top of the consensus layer:
+
+* :mod:`repro.applications.aggregation` — spanning-tree data aggregation
+  where the children of each parent run consensus to agree on the value
+  passed up, versus the naive lossy push ("some values might get lost,
+  weakening the guarantees ... a consensus protocol can be run among the
+  children of each parent");
+* :mod:`repro.applications.clustering` — Kumar's scheme [44]: partition
+  the network into clusters, run consensus inside each cluster to decide
+  what the cluster reports, reducing message traffic while keeping every
+  device's vote.
+"""
+
+from .aggregation import (
+    AggregationOutcome,
+    AggregationTree,
+    aggregate_with_consensus,
+    aggregate_naive,
+)
+from .clustering import (
+    ClusterReport,
+    ClusteredNetwork,
+    cluster_vote,
+)
+
+__all__ = [
+    "AggregationTree",
+    "AggregationOutcome",
+    "aggregate_with_consensus",
+    "aggregate_naive",
+    "ClusteredNetwork",
+    "ClusterReport",
+    "cluster_vote",
+]

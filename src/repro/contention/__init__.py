@@ -1,0 +1,25 @@
+"""Contention managers (Section 4): wake-up, leader election, backoff."""
+
+from .backoff import BackoffContentionManager
+from .manager import ContentionManager
+from .services import (
+    KWakeUpService,
+    LeaderElectionService,
+    NoContentionManager,
+    ScriptedContentionManager,
+    WakeUpService,
+    all_active_schedule,
+    all_passive_schedule,
+)
+
+__all__ = [
+    "ContentionManager",
+    "NoContentionManager",
+    "WakeUpService",
+    "LeaderElectionService",
+    "KWakeUpService",
+    "ScriptedContentionManager",
+    "BackoffContentionManager",
+    "all_active_schedule",
+    "all_passive_schedule",
+]

@@ -1,0 +1,111 @@
+"""A practical randomized-backoff contention manager.
+
+Section 1.3 argues that the abstract wake-up / leader-election services
+"could be implemented in a real system by a backoff protocol".  This module
+provides such an implementation so the examples and resilience experiments
+can run end-to-end without a magic oracle:
+
+* every process starts with broadcast probability 1;
+* after a round in which two or more processes were active (observed via
+  the channel-feedback hook), each active process halves its probability;
+* after a silent round every process doubles its probability (capped at 1);
+* once a round has exactly one active process, that process is locked in
+  as the leader (giving leader-election-style stability thereafter, unless
+  it crashes — the engine re-opens contention if the leader disappears).
+
+The manager is randomized but fully seeded, so executions replay.  It makes
+a *probabilistic* liveness promise only — exactly the safety/liveness
+separation the paper advocates: the consensus algorithms stay safe even
+while the backoff is still thrashing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Sequence
+
+from ..core.types import ACTIVE, PASSIVE, ContentionAdvice, ProcessId
+from .manager import ContentionManager
+
+
+class BackoffContentionManager(ContentionManager):
+    """Seeded exponential backoff with leader lock-in.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed; executions are reproducible per seed.
+    min_probability:
+        Floor for the per-process broadcast probability, keeping the
+        protocol live even after long contention streaks.
+    """
+
+    def __init__(self, seed: int = 0, min_probability: float = 1.0 / 1024) -> None:
+        self.seed = seed
+        self.min_probability = min_probability
+        self._rng = random.Random(seed)
+        self._prob: Dict[ProcessId, float] = {}
+        self._leader: Optional[ProcessId] = None
+        self._last_active: Sequence[ProcessId] = ()
+        self._stabilized_at: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def advise(
+        self, round_index: int, indices: Sequence[ProcessId]
+    ) -> Dict[ProcessId, ContentionAdvice]:
+        live = list(indices)
+        if self._leader is not None and self._leader not in live:
+            # Leader crashed: re-open contention.
+            self._leader = None
+            self._stabilized_at = None
+        if self._leader is not None:
+            self._last_active = (self._leader,)
+            return {
+                i: ACTIVE if i == self._leader else PASSIVE for i in live
+            }
+        for i in live:
+            self._prob.setdefault(i, 1.0)
+        active = [i for i in live if self._rng.random() < self._prob[i]]
+        if not active and live:
+            # Guarantee progress: promote one uniformly random process.
+            active = [self._rng.choice(sorted(live))]
+        self._last_active = tuple(active)
+        if len(active) == 1:
+            self._leader = active[0]
+            self._stabilized_at = round_index
+        return {i: ACTIVE if i in set(active) else PASSIVE for i in live}
+
+    def observe(self, round_index: int, broadcast_count: int) -> None:
+        if self._leader is not None:
+            return
+        if broadcast_count >= 2:
+            for i in self._last_active:
+                self._prob[i] = max(
+                    self.min_probability, self._prob.get(i, 1.0) / 2.0
+                )
+        elif broadcast_count == 0:
+            for i in self._prob:
+                self._prob[i] = min(1.0, self._prob[i] * 2.0)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._prob = {}
+        self._leader = None
+        self._last_active = ()
+        self._stabilized_at = None
+
+    # ------------------------------------------------------------------
+    @property
+    def leader(self) -> Optional[ProcessId]:
+        """The locked-in leader, once contention has resolved."""
+        return self._leader
+
+    @property
+    def stabilized_at(self) -> Optional[int]:
+        """Round at which a single active process first emerged."""
+        return self._stabilized_at
+
+    @property
+    def stabilization_round(self) -> Optional[int]:
+        # No a-priori promise: stabilization is empirical.
+        return None

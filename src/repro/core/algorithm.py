@@ -1,0 +1,134 @@
+"""Algorithms: mappings from process indices to processes (Definitions 2-3).
+
+An *algorithm* assigns an automaton to every index in the universe ``I``.
+An algorithm is *anonymous* when every index maps to the same automaton —
+i.e. the process code cannot depend on the index at all.
+
+For consensus we also need to thread an *initial value* into each process
+(the paper models this as one start state per value).  A
+:class:`ConsensusAlgorithm` therefore wraps a factory
+``(index, initial_value) -> Process``; anonymous consensus algorithms ignore
+the index argument.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Sequence
+
+from .errors import ConfigurationError
+from .process import Process
+from .types import ProcessId, Value
+
+
+class Algorithm:
+    """A plain algorithm: ``index -> Process`` factory (Definition 2)."""
+
+    def __init__(
+        self,
+        factory: Callable[[ProcessId], Process],
+        anonymous: bool,
+        name: str = "algorithm",
+    ) -> None:
+        self._factory = factory
+        self._anonymous = anonymous
+        self.name = name
+
+    @classmethod
+    def anonymous(
+        cls, factory: Callable[[], Process], name: str = "anonymous"
+    ) -> "Algorithm":
+        """Build an anonymous algorithm from an index-free factory."""
+        return cls(lambda _i: factory(), anonymous=True, name=name)
+
+    @classmethod
+    def indexed(
+        cls, factory: Callable[[ProcessId], Process], name: str = "indexed"
+    ) -> "Algorithm":
+        """Build a (potentially) non-anonymous algorithm."""
+        return cls(factory, anonymous=False, name=name)
+
+    @property
+    def is_anonymous(self) -> bool:
+        """Definition 3: the same automaton at every index."""
+        return self._anonymous
+
+    def spawn(self, index: ProcessId) -> Process:
+        """Instantiate the automaton for ``index``."""
+        return self._factory(index)
+
+    def spawn_all(self, indices: Sequence[ProcessId]) -> Dict[ProcessId, Process]:
+        """Instantiate one process per index."""
+        return {i: self.spawn(i) for i in indices}
+
+
+class ConsensusAlgorithm:
+    """A consensus algorithm parameterised by initial values (V-start).
+
+    The factory receives ``(index, initial_value)`` and must return a fresh
+    :class:`Process`.  Anonymous factories must not inspect the index; we
+    cannot verify that statically, but the lower-bound machinery in
+    :mod:`repro.lowerbounds` exercises it dynamically (Lemma 20's symmetry
+    argument fails loudly for a purportedly anonymous algorithm that peeks).
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[ProcessId, Value], Process],
+        anonymous: bool,
+        name: str = "consensus",
+    ) -> None:
+        self._factory = factory
+        self._anonymous = anonymous
+        self.name = name
+
+    @classmethod
+    def anonymous(
+        cls, factory: Callable[[Value], Process], name: str = "anonymous-consensus"
+    ) -> "ConsensusAlgorithm":
+        """Anonymous consensus algorithm: factory sees only the value."""
+        return cls(lambda _i, v: factory(v), anonymous=True, name=name)
+
+    @classmethod
+    def indexed(
+        cls,
+        factory: Callable[[ProcessId, Value], Process],
+        name: str = "non-anonymous-consensus",
+    ) -> "ConsensusAlgorithm":
+        """Non-anonymous consensus algorithm: factory sees index and value."""
+        return cls(factory, anonymous=False, name=name)
+
+    @property
+    def is_anonymous(self) -> bool:
+        return self._anonymous
+
+    def spawn(self, index: ProcessId, initial_value: Value) -> Process:
+        """Instantiate the automaton for ``index`` with ``initial_value``."""
+        return self._factory(index, initial_value)
+
+    def instantiate(
+        self, assignment: Mapping[ProcessId, Value]
+    ) -> Dict[ProcessId, Process]:
+        """Instantiate processes for a full initial-value assignment."""
+        if not assignment:
+            raise ConfigurationError("initial-value assignment must be non-empty")
+        return {i: self.spawn(i, v) for i, v in assignment.items()}
+
+    def with_fixed_values(
+        self, assignment: Mapping[ProcessId, Value]
+    ) -> Algorithm:
+        """View this consensus algorithm as a plain :class:`Algorithm`.
+
+        The returned algorithm bakes in the given initial-value assignment,
+        which is how the paper treats "the collection of initial states"
+        (Section 6, footnote on input values).
+        """
+        frozen = dict(assignment)
+
+        def factory(index: ProcessId) -> Process:
+            if index not in frozen:
+                raise ConfigurationError(
+                    f"no initial value assigned for process index {index}"
+                )
+            return self.spawn(index, frozen[index])
+
+        return Algorithm(factory, anonymous=False, name=f"{self.name}[fixed]")

@@ -1,0 +1,193 @@
+"""Consensus-property checking (Section 6).
+
+Given a finished :class:`~repro.core.records.ExecutionResult` with initial
+values attached, this module decides whether the execution *solved
+consensus*:
+
+* **agreement** — no two processes decided different values;
+* **validity** — *strong*: every decision is some process's initial value;
+  *uniform*: if all initial values coincide, only that value may be
+  decided.  Lower bounds use uniform (weaker), upper bounds strong,
+  mirroring the paper's "strongest possible results" convention;
+* **termination** — every correct process decided (within the simulated
+  horizon, optionally by a specific round bound).
+
+Checks come in two flavours: predicates returning a structured
+:class:`ConsensusReport`, and ``require_*`` helpers raising the precise
+:class:`~repro.core.errors.ConsensusViolation` subclass, which tests use
+to pinpoint what broke.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from .errors import (
+    AgreementViolation,
+    ConfigurationError,
+    TerminationViolation,
+    ValidityViolation,
+)
+from .records import ExecutionResult
+
+
+@dataclasses.dataclass(frozen=True)
+class ConsensusReport:
+    """Outcome of checking one execution against Section 6's properties."""
+
+    agreement: bool
+    strong_validity: bool
+    uniform_validity: bool
+    termination: bool
+    decided_values: Tuple
+    decision_round: Optional[int]
+    problems: Tuple[str, ...]
+
+    @property
+    def solved(self) -> bool:
+        """Agreement + strong validity + termination, the paper's bar for
+        upper bounds."""
+        return self.agreement and self.strong_validity and self.termination
+
+    @property
+    def safe(self) -> bool:
+        """Agreement + strong validity only — the properties that must hold
+        under *any* adversary, even when liveness hypotheses fail."""
+        return self.agreement and self.strong_validity
+
+
+def check_agreement(result: ExecutionResult) -> bool:
+    """No two processes decided different values (crashed ones included —
+    a process that decided before crashing still binds the others)."""
+    decided = set(result.decided_values().values())
+    return len(decided) <= 1
+
+
+def check_strong_validity(result: ExecutionResult) -> bool:
+    """Every decided value is the initial value of some process."""
+    if result.initial_values is None:
+        raise ConfigurationError(
+            "validity checking needs initial values on the result"
+        )
+    initials = set(result.initial_values.values())
+    return all(v in initials for v in result.decided_values().values())
+
+
+def check_uniform_validity(result: ExecutionResult) -> bool:
+    """If all processes started with the same value ``v``, only ``v`` may
+    be decided.  Vacuously true for mixed initial assignments."""
+    if result.initial_values is None:
+        raise ConfigurationError(
+            "validity checking needs initial values on the result"
+        )
+    initials = set(result.initial_values.values())
+    if len(initials) != 1:
+        return True
+    (only,) = initials
+    return all(v == only for v in result.decided_values().values())
+
+
+def check_termination(
+    result: ExecutionResult, by_round: Optional[int] = None
+) -> bool:
+    """Every correct process decided; with ``by_round``, no later than it."""
+    for pid in result.correct_indices():
+        decided_at = result.decision_rounds.get(pid)
+        if decided_at is None:
+            return False
+        if by_round is not None and decided_at > by_round:
+            return False
+    return True
+
+
+def evaluate(
+    result: ExecutionResult, by_round: Optional[int] = None
+) -> ConsensusReport:
+    """Run all checks and collect a structured report."""
+    problems: List[str] = []
+    agreement = check_agreement(result)
+    if not agreement:
+        problems.append(
+            f"agreement violated: decided {sorted(map(repr, set(result.decided_values().values())))}"
+        )
+    strong = check_strong_validity(result)
+    if not strong:
+        problems.append("strong validity violated: decided a non-initial value")
+    uniform = check_uniform_validity(result)
+    if not uniform:
+        problems.append(
+            "uniform validity violated: unanimous start, different decision"
+        )
+    termination = check_termination(result, by_round)
+    if not termination:
+        undecided = [
+            pid
+            for pid in result.correct_indices()
+            if result.decision_rounds.get(pid) is None
+        ]
+        if undecided:
+            problems.append(f"termination violated: {undecided} never decided")
+        else:
+            problems.append(
+                f"termination bound {by_round} exceeded "
+                f"(last decision at {result.last_decision_round()})"
+            )
+    return ConsensusReport(
+        agreement=agreement,
+        strong_validity=strong,
+        uniform_validity=uniform,
+        termination=termination,
+        decided_values=tuple(sorted(
+            set(result.decided_values().values()), key=repr
+        )),
+        decision_round=result.last_decision_round(),
+        problems=tuple(problems),
+    )
+
+
+def require_agreement(result: ExecutionResult) -> None:
+    """Raise :class:`AgreementViolation` unless agreement holds."""
+    if not check_agreement(result):
+        decided = {
+            pid: v for pid, v in result.decided_values().items()
+        }
+        raise AgreementViolation(f"processes decided differently: {decided}")
+
+
+def require_strong_validity(result: ExecutionResult) -> None:
+    """Raise :class:`ValidityViolation` unless strong validity holds."""
+    if not check_strong_validity(result):
+        raise ValidityViolation(
+            f"decision outside initial values: decided="
+            f"{sorted(map(repr, set(result.decided_values().values())))}, "
+            f"initials={sorted(map(repr, set(result.initial_values.values())))}"
+        )
+
+
+def require_uniform_validity(result: ExecutionResult) -> None:
+    """Raise :class:`ValidityViolation` unless uniform validity holds."""
+    if not check_uniform_validity(result):
+        raise ValidityViolation(
+            "unanimous initial value but a different value was decided"
+        )
+
+
+def require_termination(
+    result: ExecutionResult, by_round: Optional[int] = None
+) -> None:
+    """Raise :class:`TerminationViolation` unless termination holds."""
+    if not check_termination(result, by_round):
+        raise TerminationViolation(
+            f"termination failed within {result.rounds} rounds"
+            + (f" (bound {by_round})" if by_round is not None else "")
+        )
+
+
+def require_solved(
+    result: ExecutionResult, by_round: Optional[int] = None
+) -> None:
+    """Raise the first violated property, or return silently when solved."""
+    require_agreement(result)
+    require_strong_validity(result)
+    require_termination(result, by_round)

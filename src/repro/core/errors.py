@@ -1,0 +1,45 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class.  Model-constraint violations (an execution or trace
+that breaks one of the formal definitions from the paper) raise
+:class:`ModelViolation`; consensus-property failures raise
+:class:`ConsensusViolation` subclasses so tests and experiments can tell
+*which* property broke.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An environment, adversary, or algorithm was mis-configured."""
+
+
+class ModelViolation(ReproError):
+    """An execution or trace violates a constraint of the formal model.
+
+    Examples: a receive multiset that is not a sub-multiset of the broadcast
+    multiset (Definition 11, constraint 4), a broadcaster that did not
+    receive its own message (constraint 5), or collision-detector advice that
+    violates the obligations of the detector's class (constraint 6).
+    """
+
+
+class ConsensusViolation(ReproError):
+    """Base class for violations of the consensus properties (Section 6)."""
+
+
+class AgreementViolation(ConsensusViolation):
+    """Two processes decided different values."""
+
+
+class ValidityViolation(ConsensusViolation):
+    """A process decided a value that validity does not permit."""
+
+
+class TerminationViolation(ConsensusViolation):
+    """A correct process failed to decide within the required bound."""

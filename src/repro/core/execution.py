@@ -1,0 +1,269 @@
+"""The synchronous round engine (Definition 11, executable).
+
+One engine round performs, in order:
+
+1. the crash adversary picks this round's crash events;
+2. the contention manager issues ``active``/``passive`` advice for every
+   index (crashed processes get advice too — the CM trace is defined over
+   all of ``P`` — they just never act on it);
+3. every live, non-halted process produces its message via ``msg_A``
+   (processes crashing *after send* still broadcast; *before send* they
+   are silent — both timings are legal resolutions of constraint 2);
+4. the loss adversary chooses, per receiver, which other senders' messages
+   are lost; self-delivery is unconditional (constraint 5);
+5. the collision detector, seeing only the counts ``(c, T)`` exactly as
+   Definition 6 prescribes, issues per-process advice;
+6. surviving processes transition on ``(N_r[i], D_r[i], W_r[i])``;
+7. the round is recorded.
+
+The engine validates constraints 4 and 5 as it goes and raises
+:class:`~repro.core.errors.ModelViolation` on any breach, so a buggy
+adversary cannot silently produce an illegal execution.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional
+
+from ..core.errors import ConfigurationError, ModelViolation
+from .algorithm import Algorithm, ConsensusAlgorithm
+from .environment import Environment
+from .multiset import Multiset
+from .process import Process
+from .records import ExecutionResult, RoundRecord
+from .types import CollisionAdvice, ContentionAdvice, Message, ProcessId, Value
+
+#: Optional per-round observer, called after each recorded round.
+RoundObserver = Callable[[RoundRecord], None]
+
+
+class ExecutionEngine:
+    """Runs one execution of a system, producing an :class:`ExecutionResult`.
+
+    The engine owns the fail state: a crashed process is never stepped
+    again, which is observationally identical to the paper's absorbing
+    ``fail_A``.
+    """
+
+    def __init__(
+        self,
+        environment: Environment,
+        processes: Mapping[ProcessId, Process],
+        initial_values: Optional[Mapping[ProcessId, Value]] = None,
+    ) -> None:
+        if set(processes) != set(environment.indices):
+            raise ConfigurationError(
+                "process map must cover exactly the environment's indices"
+            )
+        self.environment = environment
+        self.processes = dict(processes)
+        self.initial_values = dict(initial_values) if initial_values else None
+        self._records: List[RoundRecord] = []
+        self._crashed: Dict[ProcessId, int] = {}
+        self._round = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def round(self) -> int:
+        """Number of completed rounds."""
+        return self._round
+
+    def live_indices(self) -> List[ProcessId]:
+        """Indices of processes that have not crashed."""
+        return [i for i in self.environment.indices if i not in self._crashed]
+
+    # ------------------------------------------------------------------
+    def step(self) -> RoundRecord:
+        """Execute one synchronous round and return its record."""
+        env = self.environment
+        indices = env.indices
+        self._round += 1
+        r = self._round
+
+        # (1) Crashes for this round.
+        live_before = self.live_indices()
+        events = env.crash.crashes(r, live_before)
+        crash_after_send = set()
+        crash_before_send = set()
+        for ev in events:
+            if ev.pid in self._crashed:
+                continue
+            if ev.after_send:
+                crash_after_send.add(ev.pid)
+            else:
+                crash_before_send.add(ev.pid)
+
+        # (2) Contention advice.  The formal CM trace covers all of P, but
+        # a practical manager schedules among nodes it can still hear, so
+        # the engine consults it over the live set and pads crashed
+        # processes with PASSIVE (their advice is never acted on).
+        cm_advice = dict(env.contention.advise(r, live_before))
+        missing = set(live_before) - set(cm_advice)
+        if missing:
+            raise ModelViolation(
+                f"contention manager omitted advice for {sorted(missing)}"
+            )
+        for pid in indices:
+            if pid not in cm_advice:
+                cm_advice[pid] = ContentionAdvice.PASSIVE
+
+        # (3) Message generation.
+        messages: Dict[ProcessId, Optional[Message]] = {}
+        for pid in indices:
+            proc = self.processes[pid]
+            silent = (
+                pid in self._crashed
+                or pid in crash_before_send
+                or proc.halted
+            )
+            messages[pid] = None if silent else proc.message(cm_advice[pid])
+        senders = [pid for pid in indices if messages[pid] is not None]
+
+        # (4) Loss resolution and receive multisets.
+        received: Dict[ProcessId, Multiset] = {}
+        for pid in indices:
+            lost = set(env.loss.losses(r, list(senders), pid))
+            kept = [
+                messages[s]
+                for s in senders
+                if s == pid or s not in lost
+            ]
+            ms = Multiset(kept)
+            if messages[pid] is not None and messages[pid] not in ms:
+                raise ModelViolation(
+                    f"broadcaster {pid} failed to receive its own message"
+                )
+            received[pid] = ms
+
+        # (5) Collision-detector advice from counts only.
+        counts = {pid: len(received[pid]) for pid in indices}
+        cd_advice = dict(
+            env.detector.advise(r, len(senders), counts)
+        )
+        missing = set(indices) - set(cd_advice)
+        if missing:
+            raise ModelViolation(
+                f"collision detector omitted advice for {sorted(missing)}"
+            )
+
+        # (6) Transitions for surviving processes.
+        decided_during: Dict[ProcessId, Value] = {}
+        for pid in indices:
+            proc = self.processes[pid]
+            if (
+                pid in self._crashed
+                or pid in crash_before_send
+                or pid in crash_after_send
+            ):
+                continue
+            if proc.halted:
+                proc._advance_round()
+                continue
+            already_decided = proc.has_decided
+            proc.transition(received[pid], cd_advice[pid], cm_advice[pid])
+            proc._advance_round()
+            if proc.has_decided and not already_decided:
+                decided_during[pid] = proc.decision
+
+        # Commit crashes.
+        for pid in crash_before_send | crash_after_send:
+            self._crashed[pid] = r
+
+        # (7) Channel feedback and bookkeeping.
+        env.contention.observe(r, len(senders))
+        record = RoundRecord(
+            round=r,
+            cm_advice=cm_advice,
+            messages=messages,
+            received=received,
+            cd_advice=cd_advice,
+            crashed_during=frozenset(crash_before_send | crash_after_send),
+            decided_during=decided_during,
+        )
+        self._records.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_rounds: int,
+        until_all_decided: bool = True,
+        observer: Optional[RoundObserver] = None,
+    ) -> ExecutionResult:
+        """Run up to ``max_rounds`` rounds and return the result.
+
+        With ``until_all_decided`` (the default) the run stops as soon as
+        every correct (non-crashed) process has decided — the natural stop
+        condition for consensus experiments.  Lower-bound replays disable
+        it to force a full fixed-length prefix.
+        """
+        if max_rounds < 0:
+            raise ConfigurationError("max_rounds must be >= 0")
+        for _ in range(max_rounds):
+            record = self.step()
+            if observer is not None:
+                observer(record)
+            if until_all_decided and self._all_correct_decided():
+                break
+        return self.result()
+
+    def _all_correct_decided(self) -> bool:
+        return all(
+            self.processes[pid].has_decided for pid in self.live_indices()
+        )
+
+    def result(self) -> ExecutionResult:
+        """Snapshot the execution so far as an :class:`ExecutionResult`."""
+        env = self.environment
+        decisions = {
+            pid: self.processes[pid].decision for pid in env.indices
+        }
+        decision_rounds = {
+            pid: self.processes[pid].decision_round for pid in env.indices
+        }
+        crash_rounds = {
+            pid: self._crashed.get(pid) for pid in env.indices
+        }
+        return ExecutionResult(
+            indices=env.indices,
+            records=list(self._records),
+            decisions=decisions,
+            decision_rounds=decision_rounds,
+            crash_rounds=crash_rounds,
+            initial_values=self.initial_values,
+            cst=env.communication_stabilization_time(),
+        )
+
+
+# ----------------------------------------------------------------------
+# High-level entry points
+# ----------------------------------------------------------------------
+def run_algorithm(
+    environment: Environment,
+    algorithm: Algorithm,
+    max_rounds: int,
+    until_all_decided: bool = True,
+) -> ExecutionResult:
+    """Instantiate ``algorithm`` over the environment's indices and run."""
+    environment.reset()
+    processes = algorithm.spawn_all(environment.indices)
+    engine = ExecutionEngine(environment, processes)
+    return engine.run(max_rounds, until_all_decided=until_all_decided)
+
+
+def run_consensus(
+    environment: Environment,
+    algorithm: ConsensusAlgorithm,
+    initial_values: Mapping[ProcessId, Value],
+    max_rounds: int,
+    until_all_decided: bool = True,
+) -> ExecutionResult:
+    """Run a consensus algorithm with the given initial-value assignment."""
+    if set(initial_values) != set(environment.indices):
+        raise ConfigurationError(
+            "initial values must cover exactly the environment's indices"
+        )
+    environment.reset()
+    processes = algorithm.instantiate(initial_values)
+    engine = ExecutionEngine(environment, processes, initial_values)
+    return engine.run(max_rounds, until_all_decided=until_all_decided)

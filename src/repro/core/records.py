@@ -1,0 +1,220 @@
+"""Execution records and the paper's trace types (Definitions 4, 5, 7, 11).
+
+An execution in the formal model is the infinite sequence
+``C0, M1, N1, D1, W1, C1, ...``.  The engine produces a finite prefix of this
+sequence as a list of :class:`RoundRecord` objects, each holding the round's
+message assignment (``M_r``), message-set assignment (``N_r``), collision
+advice (``D_r``), contention advice (``W_r``), and the set of processes that
+crashed during the round.
+
+From a finished :class:`ExecutionResult` we can extract the three trace
+types used throughout the paper:
+
+* the **transmission trace** ``(c_r, T_r)`` — how many processes broadcast
+  and how many messages each process received (Definition 4);
+* the **CD trace** — collision advice per process per round (Definition 5);
+* the **CM trace** — contention advice per process per round (Definition 7);
+
+plus the **basic broadcast count sequence** (Definition 22) used by the
+lower bounds, and observable *indistinguishability* between two executions
+(Definition 12).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from .multiset import Multiset
+from .types import CollisionAdvice, ContentionAdvice, Message, ProcessId, Value
+
+
+@dataclasses.dataclass(frozen=True)
+class TransmissionEntry:
+    """One entry ``(c, T)`` of a P-transmission trace (Definition 4).
+
+    ``broadcasters`` is the paper's ``c`` (number of processes that sent a
+    non-null message this round); ``received`` maps each process index to
+    ``T(i)`` (the number of messages, with multiplicity, it received).
+    """
+
+    broadcasters: int
+    received: Mapping[ProcessId, int]
+
+    def loss_at(self, pid: ProcessId) -> int:
+        """Number of messages process ``pid`` lost this round."""
+        return self.broadcasters - self.received[pid]
+
+
+@dataclasses.dataclass(frozen=True)
+class RoundRecord:
+    """Everything that happened in one synchronous round (1-based)."""
+
+    round: int
+    cm_advice: Mapping[ProcessId, ContentionAdvice]
+    messages: Mapping[ProcessId, Optional[Message]]
+    received: Mapping[ProcessId, Multiset]
+    cd_advice: Mapping[ProcessId, CollisionAdvice]
+    crashed_during: FrozenSet[ProcessId]
+    decided_during: Mapping[ProcessId, Value]
+
+    @property
+    def broadcasters(self) -> Tuple[ProcessId, ...]:
+        """Indices that broadcast a non-null message this round."""
+        return tuple(
+            sorted(i for i, m in self.messages.items() if m is not None)
+        )
+
+    @property
+    def broadcast_count(self) -> int:
+        """The paper's ``c`` for this round."""
+        return sum(1 for m in self.messages.values() if m is not None)
+
+    def transmission_entry(self) -> TransmissionEntry:
+        """This round's ``(c, T)`` transmission-trace entry."""
+        return TransmissionEntry(
+            broadcasters=self.broadcast_count,
+            received={i: len(ms) for i, ms in self.received.items()},
+        )
+
+
+class ExecutionResult:
+    """A finite execution prefix plus final per-process outcomes.
+
+    The result is the primary object consumed by the consensus checker, the
+    trace validators, the lower-bound machinery, and the experiment
+    harness.
+    """
+
+    def __init__(
+        self,
+        indices: Sequence[ProcessId],
+        records: List[RoundRecord],
+        decisions: Mapping[ProcessId, Optional[Value]],
+        decision_rounds: Mapping[ProcessId, Optional[int]],
+        crash_rounds: Mapping[ProcessId, Optional[int]],
+        initial_values: Optional[Mapping[ProcessId, Value]] = None,
+        cst: Optional[int] = None,
+    ) -> None:
+        self.indices: Tuple[ProcessId, ...] = tuple(sorted(indices))
+        self.records = records
+        self.decisions = dict(decisions)
+        self.decision_rounds = dict(decision_rounds)
+        self.crash_rounds = dict(crash_rounds)
+        self.initial_values = dict(initial_values) if initial_values else None
+        self.cst = cst
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def rounds(self) -> int:
+        """Number of simulated rounds."""
+        return len(self.records)
+
+    def correct_indices(self) -> Tuple[ProcessId, ...]:
+        """Indices of processes that never crashed (Definition 13)."""
+        return tuple(
+            i for i in self.indices if self.crash_rounds.get(i) is None
+        )
+
+    def crashed_indices(self) -> Tuple[ProcessId, ...]:
+        """Indices of processes that crashed at some round."""
+        return tuple(
+            i for i in self.indices if self.crash_rounds.get(i) is not None
+        )
+
+    def decided_values(self) -> Dict[ProcessId, Value]:
+        """Map of process index to decided value, decided processes only."""
+        return {i: v for i, v in self.decisions.items() if v is not None}
+
+    def all_correct_decided(self) -> bool:
+        """True when every correct process has decided."""
+        return all(
+            self.decisions.get(i) is not None for i in self.correct_indices()
+        )
+
+    def last_decision_round(self) -> Optional[int]:
+        """Latest decision round among correct processes, if all decided."""
+        if not self.all_correct_decided():
+            return None
+        rounds = [self.decision_rounds[i] for i in self.correct_indices()]
+        return max(rounds) if rounds else None
+
+    # ------------------------------------------------------------------
+    # Traces
+    # ------------------------------------------------------------------
+    def transmission_trace(self) -> List[TransmissionEntry]:
+        """The execution's transmission trace (Definition 4 prefix)."""
+        return [rec.transmission_entry() for rec in self.records]
+
+    def cd_trace(self) -> List[Mapping[ProcessId, CollisionAdvice]]:
+        """The execution's CD trace (Definition 5 prefix)."""
+        return [rec.cd_advice for rec in self.records]
+
+    def cm_trace(self) -> List[Mapping[ProcessId, ContentionAdvice]]:
+        """The execution's CM trace (Definition 7 prefix)."""
+        return [rec.cm_advice for rec in self.records]
+
+    def broadcast_count_sequence(self, through_round: Optional[int] = None):
+        """Basic broadcast count sequence (Definition 22).
+
+        Each round maps to ``0``, ``1``, or ``'2+'`` according to how many
+        processes broadcast.
+        """
+        upto = self.rounds if through_round is None else min(
+            through_round, self.rounds
+        )
+        sequence = []
+        for rec in self.records[:upto]:
+            c = rec.broadcast_count
+            sequence.append(c if c < 2 else "2+")
+        return tuple(sequence)
+
+    # ------------------------------------------------------------------
+    # Per-process views
+    # ------------------------------------------------------------------
+    def view(
+        self, pid: ProcessId, through_round: Optional[int] = None
+    ) -> List[Tuple[Optional[Message], Multiset, CollisionAdvice, ContentionAdvice]]:
+        """Process ``pid``'s observable history ``(M, N, D, W)`` per round.
+
+        This is the observable part of Definition 12's indistinguishability:
+        for a deterministic automaton with a fixed start state, equal views
+        imply equal state sequences.
+        """
+        upto = self.rounds if through_round is None else min(
+            through_round, self.rounds
+        )
+        history = []
+        for rec in self.records[:upto]:
+            history.append(
+                (
+                    rec.messages[pid],
+                    rec.received[pid],
+                    rec.cd_advice[pid],
+                    rec.cm_advice[pid],
+                )
+            )
+        return history
+
+
+def indistinguishable(
+    a: ExecutionResult,
+    b: ExecutionResult,
+    pid: ProcessId,
+    through_round: int,
+    pid_b: Optional[ProcessId] = None,
+) -> bool:
+    """Definition 12: is ``a`` indistinguishable from ``b`` w.r.t. ``pid``?
+
+    Compares the observable view (messages sent, messages received,
+    collision advice, contention advice) through ``through_round``.  Pass
+    ``pid_b`` to compare process ``pid`` in ``a`` against a *different*
+    index in ``b`` (used by the anonymous symmetry arguments of Lemma 20).
+    """
+    other = pid if pid_b is None else pid_b
+    if a.initial_values is not None and b.initial_values is not None:
+        if a.initial_values.get(pid) != b.initial_values.get(other):
+            return False
+    return a.view(pid, through_round) == b.view(other, through_round)

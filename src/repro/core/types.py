@@ -1,0 +1,62 @@
+"""Shared value types for the formal model (Section 3).
+
+The paper's model exchanges three kinds of per-round advice between the
+environment and the processes:
+
+* **collision-detector advice** — ``±`` (collision) or ``null``;
+* **contention-manager advice** — ``active`` or ``passive``;
+* **messages** — elements of a fixed alphabet ``M`` or ``null`` (no message).
+
+We model process indices as plain integers drawn from the index universe
+``I`` and messages as arbitrary hashable Python values (``None`` plays the
+role of ``null``).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Hashable
+
+#: A process index (an element of the paper's index universe ``I``).
+ProcessId = int
+
+#: A message payload.  ``None`` denotes the paper's ``null`` (no message).
+Message = Hashable
+
+#: A consensus value (an element of the value set ``V``).
+Value = Any
+
+
+class CollisionAdvice(enum.Enum):
+    """Binary collision-detector output (Section 1.3 / Definition 5).
+
+    ``COLLISION`` is the paper's ``±`` — a rough indication that the
+    receiver lost at least one message this round.  ``NULL`` indicates the
+    detector observed nothing suspicious.
+    """
+
+    NULL = "null"
+    COLLISION = "collision"
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience only
+        return self is CollisionAdvice.COLLISION
+
+    def __repr__(self) -> str:
+        return "±" if self is CollisionAdvice.COLLISION else "null"
+
+
+class ContentionAdvice(enum.Enum):
+    """Contention-manager output (Section 4): broadcast hint per round."""
+
+    ACTIVE = "active"
+    PASSIVE = "passive"
+
+    def __repr__(self) -> str:
+        return self.value
+
+
+#: Convenience aliases matching the paper's notation.
+COLLISION = CollisionAdvice.COLLISION
+NULL = CollisionAdvice.NULL
+ACTIVE = ContentionAdvice.ACTIVE
+PASSIVE = ContentionAdvice.PASSIVE

@@ -1,0 +1,86 @@
+"""Receiver-side collision detectors (Section 5).
+
+Public surface:
+
+* :class:`~repro.detectors.properties.Completeness` /
+  :class:`~repro.detectors.properties.AccuracyMode` — the property axes.
+* :class:`~repro.detectors.detector.ParametricCollisionDetector` — the one
+  concrete detector, configured by class + policy.
+* The Figure 1 class registry in :mod:`repro.detectors.classes`.
+* Free-choice policies in :mod:`repro.detectors.policy`.
+* Noise-lemma and legality validators in :mod:`repro.detectors.noise`.
+"""
+
+from .classes import (
+    AC,
+    ALL_CLASSES,
+    CLASSES_BY_NAME,
+    HALF_AC,
+    HALF_OAC,
+    MAJ_AC,
+    MAJ_OAC,
+    NO_ACC,
+    NO_CD,
+    OAC,
+    ZERO_AC,
+    ZERO_OAC,
+    DetectorClass,
+    containment_pairs,
+    get_class,
+)
+from .eventual import (
+    PhasedCompletenessDetector,
+    eventually_complete_detector,
+    usually_perfect_detector,
+)
+from .detector import (
+    CollisionDetector,
+    ParametricCollisionDetector,
+    no_cd_detector,
+    perfect_detector,
+)
+from .noise import (
+    check_detector_trace,
+    check_noise_lemma,
+    detector_trace_violations,
+    noise_lemma_violations,
+    silence_implies_no_broadcast,
+)
+from .policy import (
+    BenignPolicy,
+    CallbackPolicy,
+    DetectorPolicy,
+    NoisyPolicy,
+    SeededRandomPolicy,
+    SilentPolicy,
+    SpuriousUntilPolicy,
+    TargetedSpuriousPolicy,
+)
+from .properties import (
+    AccuracyMode,
+    Completeness,
+    accuracy_active,
+    advice_legal,
+    must_report_collision,
+    must_report_null,
+)
+
+__all__ = [
+    "AC", "OAC", "MAJ_AC", "MAJ_OAC", "HALF_AC", "HALF_OAC",
+    "ZERO_AC", "ZERO_OAC", "NO_ACC", "NO_CD",
+    "ALL_CLASSES", "CLASSES_BY_NAME", "DetectorClass",
+    "containment_pairs", "get_class",
+    "CollisionDetector", "ParametricCollisionDetector",
+    "PhasedCompletenessDetector", "eventually_complete_detector",
+    "usually_perfect_detector",
+    "no_cd_detector", "perfect_detector",
+    "Completeness", "AccuracyMode",
+    "must_report_collision", "must_report_null", "accuracy_active",
+    "advice_legal",
+    "DetectorPolicy", "BenignPolicy", "SilentPolicy", "NoisyPolicy",
+    "SpuriousUntilPolicy", "SeededRandomPolicy", "TargetedSpuriousPolicy",
+    "CallbackPolicy",
+    "check_noise_lemma", "noise_lemma_violations",
+    "silence_implies_no_broadcast",
+    "check_detector_trace", "detector_trace_violations",
+]

@@ -1,0 +1,57 @@
+"""The evaluation harness: every paper artifact as a runnable experiment.
+
+``REGISTRY`` indexes experiments E1-E16 (see DESIGN.md for the mapping to
+the paper's figures and theorems); each benchmark in ``benchmarks/``
+regenerates one entry, and :func:`render_all` reproduces the whole
+evaluation as ASCII tables.
+"""
+
+from .ablation import run_completeness_ablation
+from .applications import run_applications
+from .conjecture import run_conjecture_exploration
+from .counting import run_counting_experiment
+from .eventual_completeness import run_eventual_completeness
+from .detector_quality import (
+    run_clock_calibration,
+    run_detector_calibration,
+    run_detector_quality,
+    run_loss_calibration,
+)
+from .harness import Experiment, ExperimentRegistry, Table
+from .lower import run_impossibility_witnesses, run_round_complexity_witnesses
+from .matrix import run_matrix
+from .multihop import run_multihop_flood
+from .registry import REGISTRY, render_all, run_experiment
+from .resilience import run_resilience
+from .scenarios import (
+    ecf_environment,
+    maj_oac_environment,
+    nocf_environment,
+    zero_oac_environment,
+)
+from .termination import (
+    run_alg1_termination,
+    run_alg2_value_sweep,
+    run_alg3_nocf,
+    run_nonanon_crossover,
+)
+
+__all__ = [
+    "Table", "Experiment", "ExperimentRegistry",
+    "REGISTRY", "render_all", "run_experiment",
+    "ecf_environment", "maj_oac_environment", "zero_oac_environment",
+    "nocf_environment",
+    "run_matrix",
+    "run_alg1_termination", "run_alg2_value_sweep",
+    "run_nonanon_crossover", "run_alg3_nocf",
+    "run_impossibility_witnesses", "run_round_complexity_witnesses",
+    "run_completeness_ablation",
+    "run_counting_experiment",
+    "run_applications",
+    "run_conjecture_exploration",
+    "run_multihop_flood",
+    "run_eventual_completeness",
+    "run_loss_calibration", "run_detector_calibration",
+    "run_clock_calibration", "run_detector_quality",
+    "run_resilience",
+]

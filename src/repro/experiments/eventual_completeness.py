@@ -1,0 +1,142 @@
+"""E13: the conclusion's open questions about time-varying completeness.
+
+Three executable findings:
+
+* **no completeness for an unknown prefix ⇒ impossible** — the paper's
+  offhand remark, run as a Theorem-4-style witness: naive deciders get
+  partitioned into disagreement, and the paper's algorithms (correctly)
+  never decide;
+* **"usually perfect" is not enough for Algorithm 1** — a detector that
+  is always zero-complete and fully complete from an unknown ``r_comp``
+  admits pre-``r_comp`` executions in which Algorithm 1 violates
+  agreement (the zero-complete composition: each group hears one of two
+  simultaneous proposals and nothing flags the loss);
+* **Algorithm 2 is the safe adaptive answer** — zero completeness is all
+  it ever needs, so the phase boundary is irrelevant; and when full
+  completeness happens to hold from round 1, Algorithm 1 does terminate
+  in constant rounds — quantifying the open question's speed/assumption
+  trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..algorithms.alg1 import algorithm_1
+from ..algorithms.alg1 import termination_bound as alg1_bound
+from ..algorithms.alg2 import algorithm_2
+from ..algorithms.alg2 import termination_bound as alg2_bound
+from ..algorithms.baselines import naive_min_consensus
+from ..contention.services import WakeUpService
+from ..core.consensus import evaluate
+from ..core.environment import Environment
+from ..core.execution import run_consensus
+from ..adversary.loss import EventualCollisionFreedom, IIDLoss
+from ..detectors.eventual import usually_perfect_detector
+from ..detectors.properties import Completeness
+from ..lowerbounds.alpha import alpha_execution
+from ..lowerbounds.compose import compose_alpha_executions
+from ..lowerbounds.theorems import eventual_completeness_witness
+from .harness import Table
+
+_VALUES = ["a", "b", "c", "d"]
+
+
+def run_eventual_completeness() -> List[Table]:
+    table = Table(
+        title="E13  Time-varying completeness (conclusion's open questions)",
+        columns=["setting", "algorithm", "outcome", "detail"],
+    )
+
+    # (1) Eventual completeness only: impossible.
+    naive = eventual_completeness_witness(
+        naive_min_consensus(2), "a", "b", n=3
+    )
+    table.add(
+        setting="completeness only after unknown r_comp",
+        algorithm=naive.algorithm,
+        outcome=f"violation: {naive.violation}",
+        detail=f"partition invisible through k={naive.k}",
+    )
+    # Even the paper's algorithms are defeated here: with a silent
+    # pre-r_comp detector and clean delivery, Algorithm 1 legitimately
+    # decides in two rounds — and the composed partition splits it.  That
+    # universality is exactly why the paper never admits this class.
+    alg1_outcome = eventual_completeness_witness(
+        algorithm_1(), "a", "b", n=3, horizon=40
+    )
+    table.add(
+        setting="completeness only after unknown r_comp",
+        algorithm=alg1_outcome.algorithm,
+        outcome=f"violation: {alg1_outcome.violation}",
+        detail=(
+            "even Algorithm 1 splits: silence before r_comp is "
+            "indistinguishable from clean delivery"
+        ),
+    )
+
+    # (2) Usually-perfect (0-complete now, full later): Algorithm 1 is
+    # unsafe before r_comp — the zero-complete composition breaks it.
+    alpha_a = alpha_execution(algorithm_1(), (0, 1), "a", 4)
+    alpha_b = alpha_execution(algorithm_1(), (2, 3), "b", 4)
+    composed = compose_alpha_executions(
+        algorithm_1(), alpha_a, alpha_b, "a", "b", k=4,
+        completeness=Completeness.ZERO,
+    )
+    decided = sorted(set(composed.gamma.decided_values().values()))
+    table.add(
+        setting="0-complete now, fully complete later",
+        algorithm="algorithm-1",
+        outcome=(
+            "agreement VIOLATED pre-r_comp" if len(decided) > 1
+            else "no violation"
+        ),
+        detail=f"composed groups decided {decided}",
+    )
+
+    # (3) Algorithm 2 under the same phased detector: safe and on-bound.
+    cst = 3
+    env = Environment(
+        indices=tuple(range(4)),
+        detector=usually_perfect_detector(r_comp=25),
+        contention=WakeUpService(stabilization_round=cst),
+        loss=EventualCollisionFreedom(IIDLoss(0.3, seed=4), r_cf=cst),
+    )
+    bound = alg2_bound(cst, len(_VALUES))
+    result = run_consensus(
+        env, algorithm_2(_VALUES),
+        {i: _VALUES[i] for i in range(4)}, max_rounds=bound + 10,
+    )
+    report = evaluate(result, by_round=bound)
+    table.add(
+        setting="0-complete now, fully complete later",
+        algorithm="algorithm-2",
+        outcome="solved within Theorem 2 bound" if report.solved
+        else "FAILED",
+        detail=(
+            f"decided r{result.last_decision_round()} (bound {bound}); "
+            "r_comp irrelevant"
+        ),
+    )
+
+    # (4) When full completeness holds from round 1, Algorithm 1 IS the
+    # fast path: the open question's best case.
+    env = Environment(
+        indices=tuple(range(4)),
+        detector=usually_perfect_detector(r_comp=1),
+        contention=WakeUpService(stabilization_round=cst),
+        loss=EventualCollisionFreedom(IIDLoss(0.3, seed=4), r_cf=cst),
+    )
+    result = run_consensus(
+        env, algorithm_1(), {i: _VALUES[i] for i in range(4)},
+        max_rounds=alg1_bound(cst) + 5,
+    )
+    report = evaluate(result, by_round=alg1_bound(cst))
+    table.add(
+        setting="fully complete from round 1 (lucky phase)",
+        algorithm="algorithm-1",
+        outcome="constant-round decision" if report.solved else "FAILED",
+        detail=f"decided r{result.last_decision_round()} "
+        f"(bound CST+2={alg1_bound(cst)})",
+    )
+    return [table]

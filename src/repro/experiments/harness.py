@@ -1,0 +1,104 @@
+"""Experiment harness: tables, rendering, and the experiment registry type.
+
+Every evaluation artifact of the paper (Figure 1 and the theorem matrix of
+Section 1.5) is reproduced by an *experiment*: a callable producing one or
+more :class:`Table` objects whose rows mirror what the paper reports.  The
+benchmarks print these tables; EXPERIMENTS.md records paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+
+@dataclasses.dataclass
+class Table:
+    """A titled ASCII table with ordered columns."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Mapping[str, object]] = dataclasses.field(default_factory=list)
+    note: Optional[str] = None
+
+    def add(self, **cells: object) -> None:
+        """Append a row (missing columns render blank)."""
+        self.rows.append(cells)
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Render to an aligned ASCII table."""
+        def fmt(value: object) -> str:
+            if isinstance(value, float):
+                return f"{value:.3f}"
+            if value is None:
+                return ""
+            return str(value)
+
+        header = list(self.columns)
+        body = [[fmt(row.get(col)) for col in header] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body
+            else len(header[i])
+            for i in range(len(header))
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(
+            " | ".join(h.ljust(w) for h, w in zip(header, widths))
+        )
+        lines.append(sep)
+        for r in body:
+            lines.append(
+                " | ".join(c.ljust(w) for c, w in zip(r, widths))
+            )
+        if self.note:
+            lines.append(f"note: {self.note}")
+        return "\n".join(lines)
+
+    def column(self, name: str) -> List[object]:
+        """Extract one column as a list (missing cells become ``None``)."""
+        return [row.get(name) for row in self.rows]
+
+
+@dataclasses.dataclass
+class Experiment:
+    """One reproducible evaluation artifact.
+
+    ``run`` executes the experiment and returns its tables; ``paper_ref``
+    points at the table/figure/theorem being reproduced.
+    """
+
+    exp_id: str
+    title: str
+    paper_ref: str
+    run: Callable[[], List[Table]]
+
+    def render(self) -> str:
+        tables = self.run()
+        banner = f"[{self.exp_id}] {self.title}  ({self.paper_ref})"
+        parts = [banner, "#" * len(banner)]
+        parts.extend(t.render() for t in tables)
+        return "\n\n".join(parts)
+
+
+class ExperimentRegistry:
+    """Name -> experiment lookup used by benchmarks and the CLI examples."""
+
+    def __init__(self) -> None:
+        self._experiments: Dict[str, Experiment] = {}
+
+    def register(self, experiment: Experiment) -> Experiment:
+        if experiment.exp_id in self._experiments:
+            raise ValueError(f"duplicate experiment id {experiment.exp_id}")
+        self._experiments[experiment.exp_id] = experiment
+        return experiment
+
+    def get(self, exp_id: str) -> Experiment:
+        return self._experiments[exp_id]
+
+    def all(self) -> List[Experiment]:
+        return [self._experiments[k] for k in sorted(self._experiments)]
+
+    def ids(self) -> List[str]:
+        return sorted(self._experiments)

@@ -1,0 +1,112 @@
+"""E6-E7: the lower-bound witness battery.
+
+Runs every Section 8 construction against both the paper's algorithms
+(expected: bound respected / no decision, consistent with correctness) and
+the naive baselines (expected: mechanically exhibited safety violations).
+The table is the executable analogue of the theorem list in Section 1.5.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..algorithms.alg1 import algorithm_1
+from ..algorithms.alg2 import algorithm_2
+from ..algorithms.alg3 import algorithm_3
+from ..algorithms.baselines import eager_decider, naive_min_consensus
+from ..algorithms.nonanonymous import non_anonymous_algorithm
+from ..lowerbounds.theorems import (
+    WitnessOutcome,
+    theorem4_witness,
+    theorem5_witness,
+    theorem6_witness,
+    theorem7_witness,
+    theorem8_witness,
+    theorem9_witness,
+)
+from .harness import Table
+
+_VALUES = list(range(64))
+
+
+def _row(table: Table, outcome: WitnessOutcome, expected: str) -> None:
+    observed = outcome.violation or (
+        "decided-fast" if outcome.decided else "no-decision/bound-respected"
+    )
+    table.add(
+        theorem=outcome.theorem,
+        algorithm=outcome.algorithm,
+        expected=expected,
+        observed=observed,
+        k=outcome.k,
+        indist=outcome.indistinguishability_ok,
+        as_expected=(
+            (expected == "violation" and outcome.violation is not None)
+            or (expected == "respects" and outcome.violation is None)
+        ),
+    )
+
+
+def run_impossibility_witnesses() -> List[Table]:
+    """E6: Theorems 4, 5, 8 on real algorithms and baselines."""
+    table = Table(
+        title="E6  Impossibility witnesses (Theorems 4, 5, 8)",
+        columns=[
+            "theorem", "algorithm", "expected", "observed", "k",
+            "indist", "as_expected",
+        ],
+        note="'respects' = correct algorithm never decides under these hypotheses",
+    )
+    _row(table, theorem4_witness(algorithm_1(), "a", "b", n=3, horizon=40),
+         "respects")
+    _row(table, theorem4_witness(naive_min_consensus(2), "a", "b", n=3),
+         "violation")
+    _row(table, theorem5_witness(algorithm_2(["a", "b"]), "a", "b", n=3,
+                                 horizon=40),
+         "respects")
+    _row(table, theorem5_witness(naive_min_consensus(2), "a", "b", n=3),
+         "violation")
+    _row(table, theorem8_witness(algorithm_1(), "a", "b", n=3, horizon=60),
+         "respects")
+    _row(table, theorem8_witness(naive_min_consensus(2), "a", "b", n=3),
+         "violation")
+    return [table]
+
+
+def run_round_complexity_witnesses() -> List[Table]:
+    """E7: Theorems 6, 7, 9 on real algorithms and baselines."""
+    table = Table(
+        title="E7  Round-complexity lower bounds (Theorems 6, 7, 9)",
+        columns=[
+            "theorem", "algorithm", "expected", "observed", "k",
+            "indist", "as_expected",
+        ],
+        note="'respects' = the algorithm is still undecided at the pigeonhole k",
+    )
+    _row(table, theorem6_witness(algorithm_2(_VALUES), _VALUES, n=2),
+         "respects")
+    _row(table, theorem6_witness(eager_decider(1), _VALUES, n=2),
+         "violation")
+    id_space = list(range(8))
+    _row(
+        table,
+        theorem7_witness(
+            non_anonymous_algorithm(_VALUES, id_space),
+            _VALUES, id_space, n=2,
+        ),
+        "respects",
+    )
+    _row(
+        table,
+        theorem7_witness(
+            # A non-anonymous eager baseline: same decider at each index.
+            eager_decider(1),
+            _VALUES, id_space, n=2,
+        ),
+        "violation",
+    )
+    _row(table, theorem9_witness(algorithm_3(_VALUES), _VALUES, n=2),
+         "respects")
+    _row(table, theorem9_witness(eager_decider(1), _VALUES, n=2),
+         "violation")
+    return [table]

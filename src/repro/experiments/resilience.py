@@ -1,0 +1,142 @@
+"""E10: end-to-end safety under randomized hostile schedules.
+
+The paper's safety/liveness separation (Section 1.3) demands that
+agreement and validity *never* break, no matter how badly the channel,
+the detector's free choices, or the crash schedule behave — only
+termination is allowed to depend on the eventual-stabilization
+hypotheses.  This experiment hammers each algorithm with seeded random
+adversaries and counts violations (the expected count is zero), plus runs
+the full physical testbed (radio + carrier sense + backoff).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from ..adversary.crash import SeededRandomCrashes
+from ..algorithms.alg1 import algorithm_1
+from ..algorithms.alg2 import algorithm_2
+from ..algorithms.alg3 import algorithm_3
+from ..core.consensus import evaluate
+from ..core.execution import run_consensus
+from ..detectors.classes import MAJ_OAC, ZERO_OAC
+from ..detectors.policy import SeededRandomPolicy
+from ..substrate.device import Testbed
+from .harness import Table
+from .scenarios import ecf_environment, nocf_environment
+
+_VALUES = list(range(16))
+
+
+def _random_trial(
+    algorithm_factory: Callable,
+    detector_class,
+    seed: int,
+    n: int = 5,
+    cst: int = 12,
+    nocf: bool = False,
+):
+    crash = SeededRandomCrashes(
+        p=0.02, max_crashes=n - 1, deadline=cst, seed=seed + 1000
+    )
+    if nocf:
+        env = nocf_environment(n, crash=crash)
+    else:
+        env = ecf_environment(
+            n,
+            detector_class,
+            cst=cst,
+            loss_rate=0.4,
+            seed=seed,
+            crash=crash,
+            detector_policy=SeededRandomPolicy(
+                p_collision=0.3, seed=seed + 2000
+            ),
+        )
+    assignment = {i: _VALUES[(i * 3 + seed) % len(_VALUES)] for i in range(n)}
+    result = run_consensus(
+        env, algorithm_factory(), assignment, max_rounds=400
+    )
+    return evaluate(result), result
+
+
+def run_resilience(trials: int = 25) -> List[Table]:
+    """Randomized safety sweep per algorithm, plus the physical testbed."""
+    table = Table(
+        title="E10  Safety under randomized loss / crash / spurious-CD schedules",
+        columns=[
+            "algorithm", "trials", "agreement_violations",
+            "validity_violations", "terminated", "max_rounds_seen",
+        ],
+        note="safety violations must be 0; termination may lag under hostile CMs",
+    )
+    configs = [
+        ("Algorithm 1 (maj-OAC, ECF)", algorithm_1, MAJ_OAC, False),
+        ("Algorithm 2 (0-OAC, ECF)", lambda: algorithm_2(_VALUES),
+         ZERO_OAC, False),
+        ("Algorithm 3 (0-AC, NoCF)", lambda: algorithm_3(_VALUES),
+         None, True),
+    ]
+    for name, factory, det, nocf in configs:
+        agreement = validity = terminated = 0
+        worst = 0
+        for seed in range(trials):
+            report, result = _random_trial(
+                factory, det, seed, nocf=nocf
+            )
+            if not report.agreement:
+                agreement += 1
+            if not report.strong_validity:
+                validity += 1
+            if report.termination:
+                terminated += 1
+                worst = max(worst, result.last_decision_round() or 0)
+        table.add(
+            algorithm=name,
+            trials=trials,
+            agreement_violations=agreement,
+            validity_violations=validity,
+            terminated=terminated,
+            max_rounds_seen=worst,
+        )
+
+    # Physical testbed sweep: the same code over radio + carrier sense.
+    testbed_table = Table(
+        title="E10b  Physical testbed (radio + carrier sense + backoff)",
+        columns=[
+            "algorithm", "trials", "safe", "solved", "median_rounds",
+        ],
+    )
+    for name, factory in (
+        ("Algorithm 1", algorithm_1),
+        ("Algorithm 2", lambda: algorithm_2(_VALUES)),
+    ):
+        rounds_seen = []
+        safe = solved = 0
+        trials_tb = max(5, trials // 5)
+        for seed in range(trials_tb):
+            testbed = Testbed(n=5, seed=seed)
+            assignment = {
+                i: _VALUES[(i + seed) % len(_VALUES)] for i in range(5)
+            }
+            outcome = testbed.run(
+                factory(), assignment, max_rounds=3000
+            )
+            report = evaluate(outcome.execution)
+            safe += int(report.safe)
+            solved += int(report.solved)
+            if report.termination:
+                rounds_seen.append(
+                    outcome.execution.last_decision_round()
+                )
+        rounds_seen.sort()
+        testbed_table.add(
+            algorithm=name,
+            trials=trials_tb,
+            safe=safe,
+            solved=solved,
+            median_rounds=(
+                rounds_seen[len(rounds_seen) // 2] if rounds_seen else None
+            ),
+        )
+    return [table, testbed_table]

@@ -1,0 +1,79 @@
+"""The Section 8 lower bounds, as executable adversarial constructions.
+
+Each impossibility/round-complexity proof in the paper is constructive: it
+builds specific executions (alpha/beta prefixes, then a composed gamma
+execution) and derives a contradiction from indistinguishability.  This
+package runs those constructions against *real algorithm code*:
+
+* :mod:`repro.lowerbounds.alpha` — alpha executions (Definition 24) and
+  basic broadcast count sequences (Definition 22), plus the symmetric
+  "beta" executions of Theorem 9;
+* :mod:`repro.lowerbounds.pigeonhole` — the counting Lemmas 21 and 22:
+  find two executions sharing a broadcast-count prefix;
+* :mod:`repro.lowerbounds.compose` — Lemma 23: merge two alpha executions
+  into a legal half-AC gamma execution and verify indistinguishability
+  mechanically;
+* :mod:`repro.lowerbounds.theorems` — Theorems 4, 5, 6, 7, 8, 9 as witness
+  generators that either exhibit a safety violation (for algorithms that
+  decide "too fast") or certify that the bound was respected.
+"""
+
+from .alpha import (
+    alpha_environment,
+    alpha_execution,
+    beta_execution,
+    binary_broadcast_sequence,
+)
+from .compose import ComposedExecution, compose_alpha_executions
+from .conjecture import (
+    PrefixSearchResult,
+    find_composable_pair,
+    max_composable_prefix,
+)
+from .counting import CountingWitness, counting_impossibility_witness
+from .pigeonhole import (
+    lemma21_bound,
+    lemma21_find_pair,
+    lemma22_bound,
+    lemma22_find_pair,
+    theorem9_bound,
+    theorem9_find_pair,
+)
+from .theorems import (
+    WitnessOutcome,
+    eventual_completeness_witness,
+    theorem4_witness,
+    theorem5_witness,
+    theorem6_witness,
+    theorem7_witness,
+    theorem8_witness,
+    theorem9_witness,
+)
+
+__all__ = [
+    "alpha_environment",
+    "alpha_execution",
+    "beta_execution",
+    "binary_broadcast_sequence",
+    "lemma21_bound",
+    "lemma21_find_pair",
+    "lemma22_bound",
+    "lemma22_find_pair",
+    "theorem9_bound",
+    "theorem9_find_pair",
+    "ComposedExecution",
+    "compose_alpha_executions",
+    "PrefixSearchResult",
+    "find_composable_pair",
+    "max_composable_prefix",
+    "CountingWitness",
+    "counting_impossibility_witness",
+    "WitnessOutcome",
+    "eventual_completeness_witness",
+    "theorem4_witness",
+    "theorem5_witness",
+    "theorem6_witness",
+    "theorem7_witness",
+    "theorem8_witness",
+    "theorem9_witness",
+]

@@ -1,0 +1,126 @@
+"""Alpha and beta executions (Definition 24 and Theorem 9's symmetric runs).
+
+An *alpha execution* ``α_P(v)`` is the canonical well-behaved run the lower
+bounds replay: every process starts with the same value ``v``, the leader
+(``min(P)``) is the only CM-active process from round 1, delivery follows
+the rule "single broadcaster → everyone receives; several broadcasters →
+each keeps only its own message", the detector is complete and accurate,
+and nobody crashes.  Under those rules the detector's advice is fully
+determined, so the execution of a deterministic algorithm is unique —
+which is exactly what makes the counting arguments of Lemmas 21/22 work.
+
+A *beta execution* (Theorem 9's proof sketch) is the fully-symmetric run:
+no contention manager (everyone ``active``), *all* cross-process messages
+lost, perfect detection.  Anonymous processes behave identically, so each
+round either everyone broadcasts or nobody does — a one-bit-per-round
+channel.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from ..adversary.crash import NoCrashes
+from ..adversary.loss import AlphaLoss, SilenceLoss
+from ..contention.services import (
+    LeaderElectionService,
+    NoContentionManager,
+    all_passive_schedule,
+)
+from ..core.algorithm import ConsensusAlgorithm
+from ..core.environment import Environment
+from ..core.errors import ConfigurationError
+from ..core.execution import ExecutionEngine
+from ..core.records import ExecutionResult
+from ..core.types import ProcessId, Value
+from ..detectors.detector import ParametricCollisionDetector
+from ..detectors.policy import BenignPolicy
+from ..detectors.properties import AccuracyMode, Completeness
+
+
+def alpha_environment(indices: Sequence[ProcessId]) -> Environment:
+    """The environment of ``α_P(v)``: AC detector, MAXLS fixed to min(P).
+
+    Definition 24 fixes the maximal-AC detector to the behaviour forced by
+    the delivery rule, and the maximal leader-election service to "min(P)
+    active from round 1".  Both are realised concretely here.
+    """
+    if not indices:
+        raise ConfigurationError("alpha executions need a non-empty P")
+    return Environment(
+        indices=tuple(indices),
+        detector=ParametricCollisionDetector(
+            Completeness.FULL, AccuracyMode.ALWAYS, policy=BenignPolicy()
+        ),
+        contention=LeaderElectionService(
+            stabilization_round=1, leader=min(indices)
+        ),
+        loss=AlphaLoss(),
+        crash=NoCrashes(),
+    )
+
+
+def alpha_execution(
+    algorithm: ConsensusAlgorithm,
+    indices: Sequence[ProcessId],
+    value: Value,
+    rounds: int,
+) -> ExecutionResult:
+    """Run ``α_P(v)`` for exactly ``rounds`` rounds.
+
+    The prefix is always completed in full (no early stop on decision):
+    the counting lemmas compare fixed-length broadcast-count prefixes.
+    """
+    environment = alpha_environment(indices)
+    environment.reset()
+    assignment = {i: value for i in environment.indices}
+    processes = algorithm.instantiate(assignment)
+    engine = ExecutionEngine(environment, processes, assignment)
+    return engine.run(rounds, until_all_decided=False)
+
+
+def beta_execution(
+    algorithm: ConsensusAlgorithm,
+    indices: Sequence[ProcessId],
+    value: Value,
+    rounds: int,
+) -> ExecutionResult:
+    """Theorem 9's symmetric run: NoCM, total loss, perfect detection."""
+    if not indices:
+        raise ConfigurationError("beta executions need a non-empty P")
+    environment = Environment(
+        indices=tuple(indices),
+        detector=ParametricCollisionDetector(
+            Completeness.FULL, AccuracyMode.ALWAYS, policy=BenignPolicy()
+        ),
+        contention=NoContentionManager(),
+        loss=SilenceLoss(),
+        crash=NoCrashes(),
+    )
+    environment.reset()
+    assignment = {i: value for i in environment.indices}
+    processes = algorithm.instantiate(assignment)
+    engine = ExecutionEngine(environment, processes, assignment)
+    return engine.run(rounds, until_all_decided=False)
+
+
+def binary_broadcast_sequence(
+    result: ExecutionResult, through_round: int
+) -> Tuple[int, ...]:
+    """Theorem 9's binary broadcast sequence: 1 iff anyone broadcast."""
+    return tuple(
+        0 if c == 0 else 1
+        for c in (
+            rec.broadcast_count
+            for rec in result.records[:through_round]
+        )
+    )
+
+
+def group_broadcast_counts(
+    result: ExecutionResult, through_round: int
+) -> Tuple[int, ...]:
+    """Per-round raw broadcaster counts (used by the composition scripts)."""
+    return tuple(
+        rec.broadcast_count for rec in result.records[:through_round]
+    )

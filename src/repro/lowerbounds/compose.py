@@ -1,0 +1,218 @@
+"""Lemma 23: composing two alpha executions into a gamma execution.
+
+Given two alpha executions over disjoint index sets ``R`` and ``R'`` with
+the same basic broadcast count sequence through round ``k``, Lemma 23
+builds a single execution of the union system in which:
+
+* for the first ``k`` rounds, messages never cross the ``R``/``R'``
+  boundary, and within each group the alpha delivery rule applies;
+* the collision detector replays each group's alpha advice — and the
+  BBCS equality is exactly what makes that advice *legal for half-AC*:
+  the only undetected loss happens in rounds where each group has one
+  broadcaster (``c = 2``, each receiver got exactly half — which
+  half-completeness, unlike majority completeness, tolerates);
+* the contention manager runs two "leaders" (``min(R)`` and ``min(R')``)
+  until ``k`` and then stabilizes, satisfying the leader-election
+  property;
+* from round ``k + 1`` on everything is clean, so the composed execution
+  satisfies eventual collision freedom.
+
+The composition is *checked*, not assumed: the parametric detector
+enforces half-AC obligations over the scripted advice (a script that
+violated them would be overridden and the indistinguishability check
+below would fail loudly), and :func:`compose_alpha_executions` verifies
+Definition 12 indistinguishability for every process mechanically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import AbstractSet, Dict, FrozenSet, Optional, Sequence, Tuple
+
+from ..adversary.crash import NoCrashes
+from ..adversary.loss import ScriptedLoss
+from ..contention.services import ScriptedContentionManager
+from ..core.algorithm import ConsensusAlgorithm
+from ..core.environment import Environment
+from ..core.errors import ConfigurationError
+from ..core.execution import ExecutionEngine
+from ..core.records import ExecutionResult, indistinguishable
+from ..core.types import CollisionAdvice, ProcessId, Value
+from ..detectors.detector import ParametricCollisionDetector
+from ..detectors.policy import CallbackPolicy
+from ..detectors.properties import AccuracyMode, Completeness
+from .alpha import group_broadcast_counts
+
+
+@dataclasses.dataclass
+class ComposedExecution:
+    """The gamma execution plus the evidence that the composition worked."""
+
+    gamma: ExecutionResult
+    alpha_a: ExecutionResult
+    alpha_b: ExecutionResult
+    group_a: Tuple[ProcessId, ...]
+    group_b: Tuple[ProcessId, ...]
+    value_a: Value
+    value_b: Value
+    k: int
+    indistinguishable_a: bool
+    indistinguishable_b: bool
+
+    @property
+    def indistinguishability_holds(self) -> bool:
+        """Lemma 23's conclusion, verified mechanically for every process."""
+        return self.indistinguishable_a and self.indistinguishable_b
+
+
+def _group_loss_rule(
+    group_of: Dict[ProcessId, int], k: int
+):
+    """Delivery for gamma: per-group alpha rule through round k, then none."""
+
+    def rule(
+        round_index: int,
+        senders: Sequence[ProcessId],
+        receiver: ProcessId,
+    ) -> AbstractSet[ProcessId]:
+        if round_index > k:
+            return frozenset()
+        my_group = group_of.get(receiver)
+        in_group = [s for s in senders if group_of.get(s) == my_group]
+        lost = {
+            s for s in senders if group_of.get(s) != my_group
+        }
+        if len(in_group) > 1:
+            lost.update(s for s in in_group if s != receiver)
+        return lost
+
+    return rule
+
+
+def _scripted_advice(
+    group_of: Dict[ProcessId, int],
+    counts_by_group: Dict[int, Tuple[int, ...]],
+    k: int,
+):
+    """Replay each group's alpha collision advice through round k.
+
+    In an alpha execution the (complete, accurate) detector reports ``±``
+    exactly when two or more processes broadcast.  Afterwards, behave
+    honestly.
+    """
+
+    def advice(
+        round_index: int, pid: ProcessId, c: int, t: int
+    ) -> CollisionAdvice:
+        if round_index <= k:
+            group = group_of[pid]
+            group_count = counts_by_group[group][round_index - 1]
+            return (
+                CollisionAdvice.COLLISION
+                if group_count >= 2
+                else CollisionAdvice.NULL
+            )
+        return (
+            CollisionAdvice.COLLISION if t < c else CollisionAdvice.NULL
+        )
+
+    return advice
+
+
+def compose_alpha_executions(
+    algorithm: ConsensusAlgorithm,
+    alpha_a: ExecutionResult,
+    alpha_b: ExecutionResult,
+    value_a: Value,
+    value_b: Value,
+    k: int,
+    extra_rounds: int = 0,
+    completeness: Completeness = Completeness.HALF,
+) -> ComposedExecution:
+    """Build and verify Lemma 23's gamma execution.
+
+    ``alpha_a``/``alpha_b`` must be alpha executions over disjoint index
+    sets with equal basic broadcast count sequences through ``k`` (as
+    produced by the :mod:`repro.lowerbounds.pigeonhole` searches).  The
+    gamma execution runs for ``k`` rounds under the composed adversary and
+    then up to ``extra_rounds`` clean rounds (stopping early once every
+    process has decided).
+
+    ``completeness`` is the obligation the gamma detector enforces over
+    the scripted advice.  HALF (the default) is Lemma 23's class; ZERO is
+    used by the phased-completeness extension, where the scripted silence
+    is legal because pre-``r_comp`` only zero completeness binds.
+    Majority or full completeness would reject the script — that is the
+    content of the half/maj gap, and tests assert it.
+    """
+    group_a = alpha_a.indices
+    group_b = alpha_b.indices
+    if set(group_a) & set(group_b):
+        raise ConfigurationError("alpha executions must use disjoint sets")
+    if alpha_a.broadcast_count_sequence(k) != alpha_b.broadcast_count_sequence(k):
+        raise ConfigurationError(
+            "alpha executions do not share a broadcast count prefix"
+        )
+    if alpha_a.rounds < k or alpha_b.rounds < k:
+        raise ConfigurationError("alpha prefixes are shorter than k")
+
+    group_of: Dict[ProcessId, int] = {}
+    for pid in group_a:
+        group_of[pid] = 0
+    for pid in group_b:
+        group_of[pid] = 1
+    counts_by_group = {
+        0: group_broadcast_counts(alpha_a, k),
+        1: group_broadcast_counts(alpha_b, k),
+    }
+
+    detector = ParametricCollisionDetector(
+        completeness,
+        AccuracyMode.ALWAYS,
+        policy=CallbackPolicy(
+            _scripted_advice(group_of, counts_by_group, k)
+        ),
+    )
+    contention = ScriptedContentionManager(
+        script={
+            r: [min(group_a), min(group_b)] for r in range(1, k + 1)
+        },
+        default="leader",
+        stabilization_round=k + 1,
+    )
+    loss = ScriptedLoss(_group_loss_rule(group_of, k), r_cf=k + 1)
+
+    environment = Environment(
+        indices=tuple(sorted(group_a + group_b)),
+        detector=detector,
+        contention=contention,
+        loss=loss,
+        crash=NoCrashes(),
+    )
+    assignment = {pid: value_a for pid in group_a}
+    assignment.update({pid: value_b for pid in group_b})
+    processes = algorithm.instantiate(assignment)
+    engine = ExecutionEngine(environment, processes, assignment)
+    engine.run(k, until_all_decided=False)
+    if extra_rounds:
+        engine.run(extra_rounds, until_all_decided=True)
+    gamma = engine.result()
+
+    indist_a = all(
+        indistinguishable(gamma, alpha_a, pid, k) for pid in group_a
+    )
+    indist_b = all(
+        indistinguishable(gamma, alpha_b, pid, k) for pid in group_b
+    )
+    return ComposedExecution(
+        gamma=gamma,
+        alpha_a=alpha_a,
+        alpha_b=alpha_b,
+        group_a=group_a,
+        group_b=group_b,
+        value_a=value_a,
+        value_b=value_b,
+        k=k,
+        indistinguishable_a=indist_a,
+        indistinguishable_b=indist_b,
+    )

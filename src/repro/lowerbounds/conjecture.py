@@ -1,0 +1,139 @@
+"""Empirical exploration of Conjecture 1 (Section 8.3.4).
+
+Theorem 7's bound carries a ``lg(|I|/n)`` term because Lemma 22's
+counting argument only considers the ``|I|/n`` *disjoint* index sets of a
+fixed partition.  Conjecture 1 claims a richer argument over overlapping
+subsets would lift the term to ``lg|I|``.
+
+The conjecture is about adversarial power: more candidate executions mean
+the pigeonhole keeps finding composable (same broadcast-count prefix,
+disjoint sets, distinct values) pairs at *longer* prefixes, forcing any
+algorithm to stay undecided longer.  That part we can measure.  For a
+given algorithm we search for the longest prefix at which a composable
+pair still exists,
+
+* restricted to one disjoint partition (Lemma 22's universe), versus
+* over all (or a large sample of) n-subsets of ``I``,
+
+and compare both with the closed-form Lemma 22 bound and the conjectured
+``lg`` targets.  Finding longer-surviving pairs in the larger universe is
+evidence *for* the conjecture's mechanism (it does not prove the
+conjecture, which needs a worst-case argument over all algorithms — the
+experiment's tables say exactly this).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.algorithm import ConsensusAlgorithm
+from ..core.errors import ConfigurationError
+from ..core.records import ExecutionResult
+from ..core.types import ProcessId, Value
+from .alpha import alpha_execution
+
+#: One pigeonhole candidate: (index set, value, execution prefix).
+Candidate = Tuple[Tuple[ProcessId, ...], Value, ExecutionResult]
+
+
+@dataclasses.dataclass
+class PrefixSearchResult:
+    """Outcome of one composable-pair search at prefix length ``k``."""
+
+    k: int
+    universe_size: int
+    pair: Optional[Tuple[Candidate, Candidate]]
+
+    @property
+    def found(self) -> bool:
+        return self.pair is not None
+
+
+def _subsets(
+    id_space: Sequence[ProcessId],
+    n: int,
+    mode: str,
+    max_subsets: int,
+    seed: int,
+) -> List[Tuple[ProcessId, ...]]:
+    ids = sorted(id_space)
+    if mode == "disjoint":
+        if len(ids) % n != 0:
+            raise ConfigurationError("|I| must be a multiple of n")
+        return [
+            tuple(ids[g * n:(g + 1) * n]) for g in range(len(ids) // n)
+        ]
+    if mode != "overlapping":
+        raise ConfigurationError("mode must be 'disjoint' or 'overlapping'")
+    all_subsets = list(itertools.combinations(ids, n))
+    if len(all_subsets) <= max_subsets:
+        return all_subsets
+    return random.Random(seed).sample(all_subsets, max_subsets)
+
+
+def find_composable_pair(
+    algorithm: ConsensusAlgorithm,
+    id_space: Sequence[ProcessId],
+    n: int,
+    values: Sequence[Value],
+    k: int,
+    mode: str = "overlapping",
+    max_subsets: int = 128,
+    seed: int = 0,
+) -> PrefixSearchResult:
+    """Search for two alpha executions sharing a ``k``-round broadcast
+    prefix, over disjoint index sets and distinct values.
+
+    ``mode='disjoint'`` restricts the universe to Lemma 22's partition;
+    ``mode='overlapping'`` ranges over all (sampled) n-subsets — the
+    universe Conjecture 1 proposes.
+    """
+    subsets = _subsets(id_space, n, mode, max_subsets, seed)
+    buckets: Dict[Tuple, List[Candidate]] = {}
+    for subset in subsets:
+        for v in values:
+            result = alpha_execution(algorithm, subset, v, k)
+            key = result.broadcast_count_sequence(k)
+            for other in buckets.get(key, ()):
+                other_set, other_v, _ = other
+                if other_v != v and not (set(other_set) & set(subset)):
+                    return PrefixSearchResult(
+                        k=k,
+                        universe_size=len(subsets) * len(values),
+                        pair=(other, (subset, v, result)),
+                    )
+            buckets.setdefault(key, []).append((subset, v, result))
+    return PrefixSearchResult(
+        k=k, universe_size=len(subsets) * len(values), pair=None
+    )
+
+
+def max_composable_prefix(
+    algorithm: ConsensusAlgorithm,
+    id_space: Sequence[ProcessId],
+    n: int,
+    values: Sequence[Value],
+    mode: str,
+    k_limit: int = 24,
+    max_subsets: int = 128,
+    seed: int = 0,
+) -> int:
+    """The longest ``k`` at which a composable pair still exists.
+
+    Scans upward from 1; the first ``k`` with no pair ends the scan
+    (prefix equality is monotone: a pair at ``k`` is a pair at every
+    shorter prefix).
+    """
+    best = 0
+    for k in range(1, k_limit + 1):
+        outcome = find_composable_pair(
+            algorithm, id_space, n, values, k,
+            mode=mode, max_subsets=max_subsets, seed=seed,
+        )
+        if not outcome.found:
+            break
+        best = k
+    return best

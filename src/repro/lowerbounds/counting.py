@@ -1,0 +1,182 @@
+"""Impossibility of anonymous counting with a leader-election service.
+
+The other half of Section 4.1's remark: with only a leader-election
+service (and a half-complete detector), anonymous processes cannot count
+themselves.  The executable argument is the familiar indistinguishability
+sandwich, at the level of *population size* rather than initial value:
+
+* System A: a leader plus **one** anonymous follower.
+* System B: the same leader code plus **two** anonymous followers.
+
+Fix the adversary so that (i) followers, being anonymous and symmetric,
+receive identical advice and messages in both systems — when both of B's
+followers broadcast, each keeps only its own message, exactly what A's
+lone follower sees; (ii) whenever B's two followers broadcast together,
+the leader receives exactly one of the two messages — *half* of them —
+which a half-complete detector may leave unflagged, making the leader's
+view identical to A's, where the single follower's message arrives
+cleanly (and accuracy forces ``null`` there too).
+
+Any deterministic anonymous algorithm therefore drives the leader through
+identical states in A and B: whatever count it outputs is wrong in at
+least one system.  :func:`counting_impossibility_witness` builds both
+executions for a candidate algorithm and checks the indistinguishability
+mechanically.
+
+Note the contrast that makes the k-wake-up protocol work: there, the
+*service* separates the followers in time, so their announcements arrive
+in different rounds and no collision needs detecting at all.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import AbstractSet, Dict, Optional, Sequence
+
+from ..adversary.crash import NoCrashes
+from ..adversary.loss import ScriptedLoss
+from ..contention.services import LeaderElectionService
+from ..core.algorithm import Algorithm
+from ..core.environment import Environment
+from ..core.errors import ConfigurationError
+from ..core.execution import ExecutionEngine
+from ..core.records import ExecutionResult, indistinguishable
+from ..core.types import CollisionAdvice, ProcessId
+from ..detectors.detector import ParametricCollisionDetector
+from ..detectors.policy import CallbackPolicy
+from ..detectors.properties import AccuracyMode, Completeness
+
+LEADER: ProcessId = 0
+
+
+@dataclasses.dataclass
+class CountingWitness:
+    """Evidence that a candidate counter cannot distinguish A from B."""
+
+    small: ExecutionResult
+    large: ExecutionResult
+    rounds: int
+    leader_indistinguishable: bool
+    followers_indistinguishable: bool
+    small_outputs: Sequence[Optional[int]]
+    large_outputs: Sequence[Optional[int]]
+
+    @property
+    def counting_defeated(self) -> bool:
+        """True when the leader's view — hence its output — is identical
+        across populations of different sizes."""
+        return self.leader_indistinguishable
+
+
+def _follower_isolation_loss(leader: ProcessId):
+    """Delivery rule for both systems.
+
+    Leader messages reach everyone.  Follower messages reach the leader
+    only when the round's follower broadcasts can masquerade as a single
+    one: the adversary always delivers exactly one follower message to
+    the leader (dropping the rest), and followers never hear each other.
+    """
+
+    def rule(
+        round_index: int,
+        senders: Sequence[ProcessId],
+        receiver: ProcessId,
+    ) -> AbstractSet[ProcessId]:
+        follower_senders = sorted(s for s in senders if s != leader)
+        if receiver == leader:
+            # Keep only the lowest-index follower message.
+            return set(follower_senders[1:])
+        # Followers: hear the leader, never each other.
+        return {s for s in follower_senders if s != receiver}
+
+    return rule
+
+
+def _half_silent_detector():
+    """A half-AC detector that never volunteers information.
+
+    Free choices all answer ``null``; the composition is arranged so that
+    the only losses are the leader missing at most half of simultaneous
+    follower broadcasts (legal silence for half completeness) and
+    followers missing each other's halves symmetrically.
+    """
+
+    def advice(
+        round_index: int, pid: ProcessId, c: int, t: int
+    ) -> CollisionAdvice:
+        return CollisionAdvice.NULL
+
+    return ParametricCollisionDetector(
+        Completeness.HALF,
+        AccuracyMode.ALWAYS,
+        policy=CallbackPolicy(advice),
+    )
+
+
+def _run_system(
+    algorithm: Algorithm, follower_count: int, rounds: int
+) -> ExecutionResult:
+    indices = tuple(range(follower_count + 1))   # leader is index 0
+    env = Environment(
+        indices=indices,
+        detector=_half_silent_detector(),
+        contention=LeaderElectionService(1, leader=LEADER),
+        loss=ScriptedLoss(_follower_isolation_loss(LEADER)),
+        crash=NoCrashes(),
+    )
+    env.reset()
+    processes = algorithm.spawn_all(indices)
+    engine = ExecutionEngine(env, processes)
+    result = engine.run(rounds, until_all_decided=False)
+    # Preserve the processes so the caller can read protocol outputs.
+    result.processes = processes  # type: ignore[attr-defined]
+    return result
+
+
+def counting_impossibility_witness(
+    algorithm: Algorithm,
+    rounds: int = 40,
+    small_followers: int = 1,
+    large_followers: int = 2,
+) -> CountingWitness:
+    """Run the two-population construction against a counting algorithm.
+
+    The candidate must be anonymous (Definition 3) — with IDs the leader
+    could tell followers apart and the construction rightly fails.
+    """
+    if not algorithm.is_anonymous:
+        raise ConfigurationError(
+            "the counting impossibility applies to anonymous algorithms"
+        )
+    if not 0 < small_followers < large_followers:
+        raise ConfigurationError("need 0 < small_followers < large_followers")
+    if large_followers > 2 * small_followers:
+        raise ConfigurationError(
+            "half completeness only hides up to half of the messages: "
+            "need large_followers <= 2 * small_followers"
+        )
+    small = _run_system(algorithm, small_followers, rounds)
+    large = _run_system(algorithm, large_followers, rounds)
+
+    leader_ok = indistinguishable(small, large, LEADER, rounds)
+    followers_ok = all(
+        indistinguishable(small, large, 1, rounds, pid_b=pid)
+        for pid in range(1, large_followers + 1)
+    )
+
+    def outputs(result: ExecutionResult) -> Sequence[Optional[int]]:
+        processes = getattr(result, "processes", {})
+        return [
+            getattr(processes[pid], "current_count", None)
+            for pid in result.indices
+        ]
+
+    return CountingWitness(
+        small=small,
+        large=large,
+        rounds=rounds,
+        leader_indistinguishable=leader_ok,
+        followers_indistinguishable=followers_ok,
+        small_outputs=outputs(small),
+        large_outputs=outputs(large),
+    )

@@ -1,0 +1,155 @@
+"""The counting arguments of Lemmas 21/22 and Theorem 9, executable.
+
+Each lemma says: among enough canonical executions whose per-round
+broadcast behaviour is drawn from a small alphabet, two must share a
+prefix.  We don't merely assert this — we *search*: run the executions,
+bucket them by broadcast-count prefix, and return a colliding pair.  For
+prefix lengths at or below the lemma's bound the pigeonhole principle
+guarantees the search succeeds, which the tests verify.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.algorithm import ConsensusAlgorithm
+from ..core.errors import ConfigurationError
+from ..core.records import ExecutionResult
+from ..core.types import ProcessId, Value
+from .alpha import alpha_execution, beta_execution, binary_broadcast_sequence
+
+
+# ----------------------------------------------------------------------
+# Bound calculators (the k of each lemma)
+# ----------------------------------------------------------------------
+def lemma21_bound(value_count: int) -> int:
+    """Lemma 21's prefix length: ``⌊lg|V| / 2⌋ - 1`` rounds.
+
+    With ``3^k < |V|/2`` guaranteed at this k, at least two of the ``|V|``
+    alpha executions share a basic broadcast count prefix.  Floored at 1
+    so the machinery still runs for tiny value sets (where the bound is
+    vacuous and the tests expect collisions to be found trivially).
+    """
+    if value_count < 2:
+        raise ConfigurationError("lemma 21 needs |V| >= 2")
+    return max(1, math.floor(math.log2(value_count) / 2) - 1)
+
+
+def lemma22_bound(value_count: int, id_count: int, n: int) -> int:
+    """Lemma 22's prefix length ``⌊lg((|V|·|I|) / (n|V| + |I|))⌋ - 1``.
+
+    This is the non-anonymous refinement: executions now vary over both
+    the value and the (disjoint, size-``n``) index set.
+    """
+    if value_count < 2:
+        raise ConfigurationError("lemma 22 needs |V| >= 2")
+    if id_count < 2 * n or id_count % n != 0:
+        raise ConfigurationError(
+            "lemma 22 needs |I| a multiple of n with |I| >= 2n"
+        )
+    ratio = (value_count * id_count) / (n * value_count + id_count)
+    return max(1, math.floor(math.log2(ratio)) - 1)
+
+
+def theorem9_bound(value_count: int) -> int:
+    """Theorem 9's prefix length: ``lg|V| - 1`` rounds (binary channel)."""
+    if value_count < 2:
+        raise ConfigurationError("theorem 9 needs |V| >= 2")
+    return max(1, math.floor(math.log2(value_count)) - 1)
+
+
+# ----------------------------------------------------------------------
+# Collision searches
+# ----------------------------------------------------------------------
+def lemma21_find_pair(
+    algorithm: ConsensusAlgorithm,
+    indices: Sequence[ProcessId],
+    values: Sequence[Value],
+    k: Optional[int] = None,
+) -> Optional[Tuple[Value, Value, ExecutionResult, ExecutionResult]]:
+    """Find ``v != v'`` whose alpha executions share a k-round BBCS.
+
+    Runs ``α_P(v)`` for every ``v ∈ V`` and buckets by the basic broadcast
+    count sequence through ``k`` (default: Lemma 21's bound, where a
+    collision is guaranteed).  Returns the first colliding pair with the
+    two execution prefixes, or ``None`` if every sequence is distinct
+    (possible only for ``k`` above the bound).
+    """
+    if k is None:
+        k = lemma21_bound(len(values))
+    buckets: Dict[Tuple, Tuple[Value, ExecutionResult]] = {}
+    for v in values:
+        result = alpha_execution(algorithm, indices, v, k)
+        key = result.broadcast_count_sequence(k)
+        if key in buckets:
+            other_v, other_result = buckets[key]
+            return other_v, v, other_result, result
+        buckets[key] = (v, result)
+    return None
+
+
+def lemma22_find_pair(
+    algorithm: ConsensusAlgorithm,
+    id_space: Sequence[ProcessId],
+    n: int,
+    values: Sequence[Value],
+    k: Optional[int] = None,
+) -> Optional[
+    Tuple[
+        Tuple[ProcessId, ...],
+        Value,
+        Tuple[ProcessId, ...],
+        Value,
+        ExecutionResult,
+        ExecutionResult,
+    ]
+]:
+    """Find two alpha executions over *disjoint* index sets and *distinct*
+    values sharing a k-round BBCS (Lemma 22).
+
+    Partitions ``I`` into ``|I|/n`` disjoint size-``n`` sets and considers
+    every (set, value) combination.  Among sequence-sharing executions at
+    the lemma's ``k`` there must be two differing in both coordinates.
+    """
+    ids = list(id_space)
+    if len(ids) % n != 0:
+        raise ConfigurationError("|I| must be a multiple of n")
+    if k is None:
+        k = lemma22_bound(len(values), len(ids), n)
+    groups = [
+        tuple(ids[g * n : (g + 1) * n]) for g in range(len(ids) // n)
+    ]
+    buckets: Dict[Tuple, List[Tuple[Tuple[ProcessId, ...], Value, ExecutionResult]]] = {}
+    for group in groups:
+        for v in values:
+            result = alpha_execution(algorithm, group, v, k)
+            key = result.broadcast_count_sequence(k)
+            for other_group, other_v, other_result in buckets.get(key, ()):
+                if other_group != group and other_v != v:
+                    return (
+                        other_group, other_v, group, v, other_result, result
+                    )
+            buckets.setdefault(key, []).append((group, v, result))
+    return None
+
+
+def theorem9_find_pair(
+    algorithm: ConsensusAlgorithm,
+    indices: Sequence[ProcessId],
+    values: Sequence[Value],
+    k: Optional[int] = None,
+) -> Optional[Tuple[Value, Value, ExecutionResult, ExecutionResult]]:
+    """Find ``v != v'`` whose beta executions share a k-round *binary*
+    broadcast sequence (Theorem 9's counting step)."""
+    if k is None:
+        k = theorem9_bound(len(values))
+    buckets: Dict[Tuple, Tuple[Value, ExecutionResult]] = {}
+    for v in values:
+        result = beta_execution(algorithm, indices, v, k)
+        key = binary_broadcast_sequence(result, k)
+        if key in buckets:
+            other_v, other_result = buckets[key]
+            return other_v, v, other_result, result
+        buckets[key] = (v, result)
+    return None

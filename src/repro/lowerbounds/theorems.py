@@ -1,0 +1,658 @@
+"""Theorems 4-9 as executable witness constructions.
+
+Every lower bound in Section 8 has the same skeleton: *assume* an
+algorithm decides under the stated hypotheses, build canonical executions,
+compose them, and exhibit a safety violation.  Running that skeleton
+against real code gives a mechanical dichotomy — for each candidate
+algorithm the witness generator returns one of:
+
+* ``violation`` — the candidate decided within the construction's window,
+  and the composed execution shows agreement (or uniform validity)
+  breaking; this is what happens to the naive baselines, and it is the
+  executable content of the impossibility proof;
+* ``no violation`` — the candidate did *not* decide within the window,
+  i.e. it respects the bound (what the paper's algorithms do), or it never
+  decides at all under these hypotheses (what correctness demands when the
+  hypotheses make consensus unsolvable).
+
+All constructions verify Definition 12 indistinguishability mechanically
+rather than assuming it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..adversary.crash import NoCrashes
+from ..adversary.loss import PartitionLoss, ReliableDelivery, SilenceLoss
+from ..contention.services import (
+    LeaderElectionService,
+    NoContentionManager,
+    ScriptedContentionManager,
+)
+from ..core.algorithm import ConsensusAlgorithm
+from ..core.environment import Environment
+from ..core.errors import ConfigurationError
+from ..core.execution import ExecutionEngine
+from ..core.records import ExecutionResult, indistinguishable
+from ..core.types import CollisionAdvice, ProcessId, Value
+from ..detectors.detector import (
+    CollisionDetector,
+    ParametricCollisionDetector,
+    no_cd_detector,
+)
+from ..detectors.policy import BenignPolicy, CallbackPolicy, NoisyPolicy
+from ..detectors.properties import AccuracyMode, Completeness
+from .alpha import alpha_execution, beta_execution, binary_broadcast_sequence
+from .compose import ComposedExecution, compose_alpha_executions
+from .pigeonhole import (
+    lemma21_bound,
+    lemma21_find_pair,
+    lemma22_bound,
+    lemma22_find_pair,
+    theorem9_bound,
+    theorem9_find_pair,
+)
+
+
+@dataclasses.dataclass
+class WitnessOutcome:
+    """The verdict of one lower-bound construction on one algorithm."""
+
+    theorem: str
+    algorithm: str
+    decided: bool
+    violation: Optional[str]
+    detail: str
+    k: Optional[int] = None
+    executions: Dict[str, ExecutionResult] = dataclasses.field(
+        default_factory=dict
+    )
+    indistinguishability_ok: Optional[bool] = None
+
+    @property
+    def exhibits_violation(self) -> bool:
+        return self.violation is not None
+
+    def __str__(self) -> str:
+        verdict = (
+            f"VIOLATION({self.violation})"
+            if self.violation
+            else ("decided-late-or-never" if not self.decided else "ok")
+        )
+        return f"[{self.theorem}] {self.algorithm}: {verdict} — {self.detail}"
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+def _run(
+    environment: Environment,
+    algorithm: ConsensusAlgorithm,
+    assignment: Dict[ProcessId, Value],
+    fixed_rounds: int,
+    extra_rounds: int,
+) -> ExecutionResult:
+    """Run a fixed prefix, then continue until decision or the horizon."""
+    environment.reset()
+    processes = algorithm.instantiate(assignment)
+    engine = ExecutionEngine(environment, processes, assignment)
+    if fixed_rounds:
+        engine.run(fixed_rounds, until_all_decided=False)
+    if extra_rounds:
+        engine.run(extra_rounds, until_all_decided=True)
+    return engine.result()
+
+
+def _distinct_decisions(result: ExecutionResult) -> Tuple:
+    return tuple(
+        sorted(set(result.decided_values().values()), key=repr)
+    )
+
+
+def _disjoint_groups(
+    n: int, base: int = 0
+) -> Tuple[Tuple[ProcessId, ...], Tuple[ProcessId, ...]]:
+    group_a = tuple(range(base, base + n))
+    group_b = tuple(range(base + n, base + 2 * n))
+    return group_a, group_b
+
+
+# ----------------------------------------------------------------------
+# Theorems 4 and 5: impossibility without (useful) collision detection
+# ----------------------------------------------------------------------
+def _partition_impossibility(
+    theorem: str,
+    detector_factory,
+    algorithm: ConsensusAlgorithm,
+    value_a: Value,
+    value_b: Value,
+    n: int,
+    horizon: int,
+) -> WitnessOutcome:
+    """The Theorem 4/5 skeleton, parameterised by the detector.
+
+    Build unanimous executions α (all ``value_a``) and β (all ``value_b``)
+    with perfect delivery and a round-1 leader; if both decide by some
+    round ``k``, compose them behind a ``k``-round partition that the
+    detector class cannot expose, and exhibit the agreement violation.
+
+    ``detector_factory(k)`` builds the detector; it receives ``None`` for
+    the unanimous runs and the partition length ``k`` for the composed
+    run (some classes, like eventual completeness, position their
+    stabilization round past the partition — the lower-bound designer's
+    prerogative).
+    """
+    if value_a == value_b:
+        raise ConfigurationError("the two initial values must differ")
+    group_a, group_b = _disjoint_groups(n)
+
+    def unanimous(group: Tuple[ProcessId, ...], value: Value) -> ExecutionResult:
+        env = Environment(
+            indices=group,
+            detector=detector_factory(None),
+            contention=LeaderElectionService(1, leader=min(group)),
+            loss=ReliableDelivery(),
+            crash=NoCrashes(),
+        )
+        return _run(env, algorithm, {i: value for i in group}, 0, horizon)
+
+    alpha = unanimous(group_a, value_a)
+    beta = unanimous(group_b, value_b)
+    if not (alpha.all_correct_decided() and beta.all_correct_decided()):
+        return WitnessOutcome(
+            theorem=theorem,
+            algorithm=algorithm.name,
+            decided=False,
+            violation=None,
+            detail=(
+                f"candidate never decided within {horizon} rounds under "
+                "perfect delivery — consistent with the impossibility "
+                "(a correct algorithm cannot decide here)"
+            ),
+            executions={"alpha": alpha, "beta": beta},
+        )
+
+    k = max(alpha.last_decision_round(), beta.last_decision_round())
+    gamma_env = Environment(
+        indices=tuple(sorted(group_a + group_b)),
+        detector=detector_factory(k),
+        contention=ScriptedContentionManager(
+            script={
+                r: [min(group_a), min(group_b)] for r in range(1, k + 1)
+            },
+            default="leader",
+            stabilization_round=k + 1,
+        ),
+        loss=PartitionLoss([group_a, group_b], until_round=k),
+        crash=NoCrashes(),
+    )
+    assignment = {i: value_a for i in group_a}
+    assignment.update({i: value_b for i in group_b})
+    gamma = _run(gamma_env, algorithm, assignment, k, horizon)
+
+    indist = all(
+        indistinguishable(gamma, alpha, pid, k) for pid in group_a
+    ) and all(
+        indistinguishable(gamma, beta, pid, k) for pid in group_b
+    )
+    decided = _distinct_decisions(gamma)
+    violation = "agreement" if len(decided) > 1 else None
+    detail = (
+        f"both unanimous runs decided by round {k}; composed execution "
+        f"decided {decided} "
+        + ("— agreement violated" if violation else "— no violation found")
+    )
+    return WitnessOutcome(
+        theorem=theorem,
+        algorithm=algorithm.name,
+        decided=True,
+        violation=violation,
+        detail=detail,
+        k=k,
+        executions={"alpha": alpha, "beta": beta, "gamma": gamma},
+        indistinguishability_ok=indist,
+    )
+
+
+def theorem4_witness(
+    algorithm: ConsensusAlgorithm,
+    value_a: Value,
+    value_b: Value,
+    n: int = 3,
+    horizon: int = 60,
+) -> WitnessOutcome:
+    """Theorem 4: no (E(NoCD, LS), V, ECF)-consensus algorithm exists.
+
+    The NoCD detector answers ``±`` always, so a partition is
+    indistinguishable from ordinary noise.
+    """
+    return _partition_impossibility(
+        "theorem-4 (NoCD)", lambda _k: no_cd_detector(), algorithm,
+        value_a, value_b, n, horizon,
+    )
+
+
+def theorem5_witness(
+    algorithm: ConsensusAlgorithm,
+    value_a: Value,
+    value_b: Value,
+    n: int = 3,
+    horizon: int = 60,
+) -> WitnessOutcome:
+    """Theorem 5: no (E(NoACC, LS), V, ECF)-consensus algorithm exists.
+
+    Follows from Theorem 4 via Lemma 1 (NoCD ⊆ NoACC); the witness uses a
+    complete, never-accurate detector whose free choices are all ``±`` —
+    i.e. the trivial NoCD member of NoACC.
+    """
+
+    def noacc_detector(_k) -> CollisionDetector:
+        return ParametricCollisionDetector(
+            Completeness.FULL, AccuracyMode.NEVER, policy=NoisyPolicy()
+        )
+
+    return _partition_impossibility(
+        "theorem-5 (NoACC)", noacc_detector, algorithm, value_a, value_b,
+        n, horizon,
+    )
+
+
+def eventual_completeness_witness(
+    algorithm: ConsensusAlgorithm,
+    value_a: Value,
+    value_b: Value,
+    n: int = 3,
+    horizon: int = 60,
+) -> WitnessOutcome:
+    """The conclusion's remark, executable: consensus is impossible when
+    the detector "might satisfy no completeness properties for an a
+    priori unknown number of rounds".
+
+    Before ``r_comp`` the detector may stay silent through arbitrary
+    loss, so the adversary simply positions ``r_comp`` past the
+    partition: the composed execution looks clean to both groups, exactly
+    as in Theorem 4 (with silence instead of noise).
+    """
+    from ..detectors.eventual import eventually_complete_detector
+    from ..detectors.policy import SilentPolicy
+
+    def detector(k) -> CollisionDetector:
+        r_comp = (k + 1) if k is not None else 1
+        return eventually_complete_detector(r_comp, policy=SilentPolicy())
+
+    return _partition_impossibility(
+        "eventual-completeness (conclusion)", detector, algorithm,
+        value_a, value_b, n, horizon,
+    )
+
+
+# ----------------------------------------------------------------------
+# Theorems 6 and 7: Ω(log) round complexity with half-AC
+# ----------------------------------------------------------------------
+def theorem6_witness(
+    algorithm: ConsensusAlgorithm,
+    values: Sequence[Value],
+    n: int = 2,
+    k: Optional[int] = None,
+    extra_rounds: int = 200,
+) -> WitnessOutcome:
+    """Theorem 6: anonymous consensus with half-AC needs Ω(lg|V|) rounds.
+
+    Finds two values whose alpha executions share a broadcast-count prefix
+    (Lemma 21), transports one to a disjoint index set (Lemma 20 /
+    Corollary 2 — valid because the algorithm is anonymous), composes them
+    (Lemma 23), and reports what the composition proves about the
+    candidate.
+    """
+    if not algorithm.is_anonymous:
+        raise ConfigurationError("theorem 6 applies to anonymous algorithms")
+    if k is None:
+        k = lemma21_bound(len(values))
+    group_a, group_b = _disjoint_groups(n)
+
+    pair = lemma21_find_pair(algorithm, group_a, values, k)
+    if pair is None:
+        return WitnessOutcome(
+            theorem="theorem-6 (half-AC, anonymous)",
+            algorithm=algorithm.name,
+            decided=False,
+            violation=None,
+            detail=(
+                f"no two of {len(values)} alpha executions share a "
+                f"{k}-round broadcast prefix (k above the pigeonhole bound)"
+            ),
+            k=k,
+        )
+    value_a, value_b, alpha_a, _ = pair
+    # Corollary 2: re-run the second value on a disjoint index set; the
+    # broadcast count sequence is preserved by anonymity.
+    alpha_b = alpha_execution(algorithm, group_b, value_b, k)
+    composed = compose_alpha_executions(
+        algorithm, alpha_a, alpha_b, value_a, value_b, k,
+        extra_rounds=extra_rounds,
+    )
+    return _complexity_outcome(
+        "theorem-6 (half-AC, anonymous)", algorithm, composed
+    )
+
+
+def theorem7_witness(
+    algorithm: ConsensusAlgorithm,
+    values: Sequence[Value],
+    id_space: Sequence[ProcessId],
+    n: int = 2,
+    k: Optional[int] = None,
+    extra_rounds: int = 200,
+) -> WitnessOutcome:
+    """Theorem 7: non-anonymous consensus with half-AC needs
+    Ω(lg(|V||I| / (n|V| + |I|))) rounds.
+
+    Lemma 22's search ranges over disjoint index sets *and* values, so no
+    anonymity transport is needed.
+    """
+    if k is None:
+        k = lemma22_bound(len(values), len(id_space), n)
+    pair = lemma22_find_pair(algorithm, id_space, n, values, k)
+    if pair is None:
+        return WitnessOutcome(
+            theorem="theorem-7 (half-AC, non-anonymous)",
+            algorithm=algorithm.name,
+            decided=False,
+            violation=None,
+            detail=(
+                f"no colliding (index set, value) pair at prefix length {k}"
+            ),
+            k=k,
+        )
+    group_a, value_a, group_b, value_b, alpha_a, alpha_b = pair
+    composed = compose_alpha_executions(
+        algorithm, alpha_a, alpha_b, value_a, value_b, k,
+        extra_rounds=extra_rounds,
+    )
+    return _complexity_outcome(
+        "theorem-7 (half-AC, non-anonymous)", algorithm, composed
+    )
+
+
+def _complexity_outcome(
+    theorem: str,
+    algorithm: ConsensusAlgorithm,
+    composed: ComposedExecution,
+) -> WitnessOutcome:
+    """Interpret a Lemma 23 composition as a round-complexity verdict."""
+    k = composed.k
+    decided_by_k_a = all(
+        composed.alpha_a.decision_rounds.get(pid) is not None
+        and composed.alpha_a.decision_rounds[pid] <= k
+        for pid in composed.group_a
+    )
+    decided_by_k_b = all(
+        composed.alpha_b.decision_rounds.get(pid) is not None
+        and composed.alpha_b.decision_rounds[pid] <= k
+        for pid in composed.group_b
+    )
+    decided_fast = decided_by_k_a and decided_by_k_b
+    decided = _distinct_decisions(composed.gamma)
+    violation = (
+        "agreement" if decided_fast and len(decided) > 1 else None
+    )
+    if decided_fast:
+        detail = (
+            f"candidate decided within k={k} rounds in both alpha "
+            f"executions; composed execution decided {decided}"
+            + (" — agreement violated" if violation else "")
+        )
+    else:
+        detail = (
+            f"candidate did not decide within k={k} rounds after CST — "
+            "the Ω(log) bound is respected"
+        )
+    return WitnessOutcome(
+        theorem=theorem,
+        algorithm=algorithm.name,
+        decided=decided_fast,
+        violation=violation,
+        detail=detail,
+        k=k,
+        executions={
+            "alpha_a": composed.alpha_a,
+            "alpha_b": composed.alpha_b,
+            "gamma": composed.gamma,
+        },
+        indistinguishability_ok=composed.indistinguishability_holds,
+    )
+
+
+# ----------------------------------------------------------------------
+# Theorem 8: eventual accuracy is useless without ECF
+# ----------------------------------------------------------------------
+def theorem8_witness(
+    algorithm: ConsensusAlgorithm,
+    value_a: Value,
+    value_b: Value,
+    n: int = 3,
+    horizon: int = 120,
+) -> WitnessOutcome:
+    """Theorem 8: no (E(OAC, LS), V, NOCF)-consensus algorithm exists.
+
+    Run the permanently-partitioned gamma execution first (a legal OAC
+    environment, since its detector is complete and accurate).  If the
+    candidate decides some ``x`` by round ``k``, peel the two groups into
+    standalone executions whose eventually-accurate detectors replay
+    gamma's collision advice as pre-``r_acc`` false positives — one of the
+    two then decides against a unanimous initial value.
+    """
+    if value_a == value_b:
+        raise ConfigurationError("the two initial values must differ")
+    group_a, group_b = _disjoint_groups(n)
+    all_indices = tuple(sorted(group_a + group_b))
+
+    gamma_env = Environment(
+        indices=all_indices,
+        detector=ParametricCollisionDetector(
+            Completeness.FULL, AccuracyMode.ALWAYS, policy=BenignPolicy()
+        ),
+        contention=LeaderElectionService(1, leader=min(group_a)),
+        loss=PartitionLoss([group_a, group_b], until_round=None),
+        crash=NoCrashes(),
+    )
+    assignment = {i: value_a for i in group_a}
+    assignment.update({i: value_b for i in group_b})
+    gamma = _run(gamma_env, algorithm, assignment, 0, horizon)
+
+    if not gamma.all_correct_decided():
+        return WitnessOutcome(
+            theorem="theorem-8 (OAC, no ECF)",
+            algorithm=algorithm.name,
+            decided=False,
+            violation=None,
+            detail=(
+                f"candidate never decided within {horizon} rounds of the "
+                "partitioned execution — consistent with the impossibility"
+            ),
+            executions={"gamma": gamma},
+        )
+
+    decided = _distinct_decisions(gamma)
+    if len(decided) > 1:
+        # The partition alone already broke agreement; no peeling needed.
+        return WitnessOutcome(
+            theorem="theorem-8 (OAC, no ECF)",
+            algorithm=algorithm.name,
+            decided=True,
+            violation="agreement",
+            detail=f"partitioned execution decided {decided}",
+            k=gamma.last_decision_round(),
+            executions={"gamma": gamma},
+        )
+
+    k = gamma.last_decision_round()
+    (x,) = decided
+
+    def replay_detector(group: Tuple[ProcessId, ...]) -> CollisionDetector:
+        def advice(
+            round_index: int, pid: ProcessId, c: int, t: int
+        ) -> CollisionAdvice:
+            if round_index <= k:
+                return gamma.records[round_index - 1].cd_advice[pid]
+            return (
+                CollisionAdvice.COLLISION
+                if t < c
+                else CollisionAdvice.NULL
+            )
+
+        return ParametricCollisionDetector(
+            Completeness.FULL,
+            AccuracyMode.EVENTUAL,
+            r_acc=k + 1,
+            policy=CallbackPolicy(advice),
+        )
+
+    alpha_env = Environment(
+        indices=group_a,
+        detector=replay_detector(group_a),
+        contention=LeaderElectionService(1, leader=min(group_a)),
+        loss=ReliableDelivery(),
+        crash=NoCrashes(),
+    )
+    alpha = _run(
+        alpha_env, algorithm, {i: value_a for i in group_a}, k, horizon
+    )
+    beta_env = Environment(
+        indices=group_b,
+        detector=replay_detector(group_b),
+        contention=ScriptedContentionManager(
+            script={r: [] for r in range(1, k + 1)},
+            default="leader",
+            stabilization_round=k + 1,
+        ),
+        loss=ReliableDelivery(),
+        crash=NoCrashes(),
+    )
+    beta = _run(
+        beta_env, algorithm, {i: value_b for i in group_b}, k, horizon
+    )
+
+    indist = all(
+        indistinguishable(alpha, gamma, pid, k) for pid in group_a
+    ) and all(
+        indistinguishable(beta, gamma, pid, k) for pid in group_b
+    )
+    # Uniform validity breaks in whichever unanimous run adopted the other
+    # group's value.
+    if x == value_a:
+        violated_in, initial = "beta", value_b
+    else:
+        violated_in, initial = "alpha", value_a
+    detail = (
+        f"partitioned execution decided {x!r} by round {k}; the unanimous "
+        f"{violated_in} execution (all initial values {initial!r}) decides "
+        f"{x!r} too — uniform validity violated"
+    )
+    return WitnessOutcome(
+        theorem="theorem-8 (OAC, no ECF)",
+        algorithm=algorithm.name,
+        decided=True,
+        violation="uniform-validity",
+        detail=detail,
+        k=k,
+        executions={"gamma": gamma, "alpha": alpha, "beta": beta},
+        indistinguishability_ok=indist,
+    )
+
+
+# ----------------------------------------------------------------------
+# Theorem 9: Ω(lg|V|) with accuracy but no ECF
+# ----------------------------------------------------------------------
+def theorem9_witness(
+    algorithm: ConsensusAlgorithm,
+    values: Sequence[Value],
+    n: int = 2,
+    k: Optional[int] = None,
+    extra_rounds: int = 0,
+) -> WitnessOutcome:
+    """Theorem 9: anonymous consensus with AC but no CM and no ECF needs
+    Ω(lg|V|) rounds.
+
+    Beta executions are one-bit-per-round channels; the pigeonhole over
+    binary broadcast sequences finds two values indistinguishable through
+    ``k = lg|V| - 1`` rounds, and the silent composition (all messages
+    lost, perfect detection) is automatically legal.
+    """
+    if not algorithm.is_anonymous:
+        raise ConfigurationError("theorem 9 applies to anonymous algorithms")
+    if k is None:
+        k = theorem9_bound(len(values))
+    group_a, group_b = _disjoint_groups(n)
+
+    pair = theorem9_find_pair(algorithm, group_a, values, k)
+    if pair is None:
+        return WitnessOutcome(
+            theorem="theorem-9 (AC, no ECF)",
+            algorithm=algorithm.name,
+            decided=False,
+            violation=None,
+            detail=(
+                f"no two of {len(values)} beta executions share a "
+                f"{k}-round binary broadcast sequence"
+            ),
+            k=k,
+        )
+    value_a, value_b, beta_a, _ = pair
+    beta_b = beta_execution(algorithm, group_b, value_b, k)
+    if binary_broadcast_sequence(beta_a, k) != binary_broadcast_sequence(
+        beta_b, k
+    ):
+        raise ConfigurationError(
+            "anonymity transport failed: the algorithm is not anonymous"
+        )
+
+    gamma_env = Environment(
+        indices=tuple(sorted(group_a + group_b)),
+        detector=ParametricCollisionDetector(
+            Completeness.FULL, AccuracyMode.ALWAYS, policy=BenignPolicy()
+        ),
+        contention=NoContentionManager(),
+        loss=SilenceLoss(),
+        crash=NoCrashes(),
+    )
+    assignment = {i: value_a for i in group_a}
+    assignment.update({i: value_b for i in group_b})
+    gamma = _run(gamma_env, algorithm, assignment, k, extra_rounds)
+
+    indist = all(
+        indistinguishable(gamma, beta_a, pid, k) for pid in group_a
+    ) and all(
+        indistinguishable(gamma, beta_b, pid, k) for pid in group_b
+    )
+    decided_by_k_a = all(
+        beta_a.decision_rounds.get(pid) is not None
+        and beta_a.decision_rounds[pid] <= k
+        for pid in group_a
+    )
+    decided_by_k_b = all(
+        beta_b.decision_rounds.get(pid) is not None
+        and beta_b.decision_rounds[pid] <= k
+        for pid in group_b
+    )
+    decided_fast = decided_by_k_a and decided_by_k_b
+    decided = _distinct_decisions(gamma)
+    violation = "agreement" if decided_fast and len(decided) > 1 else None
+    detail = (
+        f"candidate decided within k={k} silent rounds; composition "
+        f"decided {decided}" + (" — agreement violated" if violation else "")
+        if decided_fast
+        else f"candidate did not decide within k={k} rounds — bound respected"
+    )
+    return WitnessOutcome(
+        theorem="theorem-9 (AC, no ECF)",
+        algorithm=algorithm.name,
+        decided=decided_fast,
+        violation=violation,
+        detail=detail,
+        k=k,
+        executions={"beta_a": beta_a, "beta_b": beta_b, "gamma": gamma},
+        indistinguishability_ok=indist,
+    )

@@ -1,0 +1,47 @@
+"""A physical-layer substitute for the paper's mote hardware.
+
+The paper's model is motivated by empirical radio behaviour (Section 1.1):
+capture effects produce non-uniform receive sets, ambient interference
+loses 20-50% of messages, carrier sensing can detect collisions, and
+drifting clocks are kept in step by reference broadcasts.  We have no
+motes, so this package simulates the closest synthetic equivalents and
+*measures* which formal detector class the simulated hardware achieves —
+reproducing the shape of the paper's "zero completeness in ~100% of
+rounds, majority completeness in over 90%" claim (Section 1.3).
+
+* :mod:`repro.substrate.radio` — an SINR/capture single-hop channel.
+* :mod:`repro.substrate.carrier_sense` — an energy-based collision
+  detector plus per-round achieved-class measurement.
+* :mod:`repro.substrate.clock` — drifting clocks with reference-broadcast
+  resynchronisation, validating the synchronous-round abstraction.
+* :mod:`repro.substrate.device` — glue: run a paper algorithm over the
+  simulated physical layer end to end.
+"""
+
+from .carrier_sense import (
+    CarrierSenseDetector,
+    DetectorQualityStats,
+    measure_detector_quality,
+)
+from .clock import ClockModel, DriftingClock, ReferenceBroadcastSync
+from .device import Testbed, TestbedResult
+from .multihop import FloodResult, MultihopLayer, MultihopNetwork, flood
+from .radio import RadioChannel, RadioConfig, TransmissionOutcome
+
+__all__ = [
+    "RadioChannel",
+    "RadioConfig",
+    "TransmissionOutcome",
+    "CarrierSenseDetector",
+    "DetectorQualityStats",
+    "measure_detector_quality",
+    "ClockModel",
+    "DriftingClock",
+    "ReferenceBroadcastSync",
+    "Testbed",
+    "TestbedResult",
+    "MultihopNetwork",
+    "MultihopLayer",
+    "FloodResult",
+    "flood",
+]

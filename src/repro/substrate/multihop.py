@@ -1,0 +1,287 @@
+"""A multihop extension of the model (the conclusion's future work).
+
+The paper's model is single-hop; its conclusion announces the plan to
+"extend our formal model to describe a multihop network" and revisit
+problems like reliable broadcast there.  This module provides that
+extension as a substrate:
+
+* :class:`MultihopNetwork` — an undirected connectivity graph (built on
+  :mod:`networkx`); processes hear only graph neighbours;
+* :class:`MultihopLayer` — one object serving both engine roles, like
+  the physical layer: as a loss adversary it drops every message from a
+  non-neighbour (plus an optional inner adversary within the
+  neighbourhood); as a collision detector it applies the completeness /
+  accuracy obligations *per neighbourhood* — ``c_i`` is the number of
+  broadcasting neighbours of ``i`` (self included), which is the natural
+  multihop reading of Definition 6;
+* :func:`flood` — the broadcast problem (Bar-Yehuda et al. [7], the
+  paper's flagship related problem): a source floods a message; we
+  measure rounds until full coverage under two relay strategies, showing
+  the contention collapse of blind flooding and the recovery via
+  randomized backoff — the behaviour that motivates the whole
+  total-collision-model critique of Section 1.2.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import AbstractSet, Dict, List, Mapping, Optional, Sequence, Set
+
+import networkx as nx
+
+from ..adversary.loss import LossAdversary
+from ..core.errors import ConfigurationError
+from ..core.types import CollisionAdvice, ProcessId
+from ..detectors.detector import CollisionDetector
+from ..detectors.policy import BenignPolicy, DetectorPolicy
+from ..detectors.properties import (
+    AccuracyMode,
+    Completeness,
+    must_report_collision,
+    must_report_null,
+)
+
+
+class MultihopNetwork:
+    """An undirected connectivity graph over process indices."""
+
+    def __init__(self, graph: nx.Graph) -> None:
+        if graph.number_of_nodes() == 0:
+            raise ConfigurationError("the network needs at least one node")
+        if not nx.is_connected(graph):
+            raise ConfigurationError("the network must be connected")
+        self.graph = graph
+
+    # -- canned topologies ------------------------------------------------
+    @classmethod
+    def line(cls, n: int) -> "MultihopNetwork":
+        """A path of ``n`` nodes: diameter ``n - 1``."""
+        return cls(nx.path_graph(n))
+
+    @classmethod
+    def grid(cls, width: int, height: int) -> "MultihopNetwork":
+        """A ``width x height`` grid, relabelled to integer indices."""
+        grid = nx.grid_2d_graph(width, height)
+        return cls(nx.convert_node_labels_to_integers(grid))
+
+    @classmethod
+    def clique_chain(cls, cliques: int, size: int) -> "MultihopNetwork":
+        """A chain of single-hop cliques bridged by shared nodes."""
+        graph = nx.Graph()
+        for c in range(cliques):
+            members = range(c * (size - 1), c * (size - 1) + size)
+            for a in members:
+                for b in members:
+                    if a < b:
+                        graph.add_edge(a, b)
+        return cls(graph)
+
+    @classmethod
+    def random_geometric(
+        cls, n: int, radius: float, seed: int = 0
+    ) -> "MultihopNetwork":
+        """A random geometric graph, regenerated until connected."""
+        for attempt in range(100):
+            graph = nx.random_geometric_graph(
+                n, radius, seed=seed + attempt
+            )
+            if nx.is_connected(graph):
+                return cls(graph)
+        raise ConfigurationError(
+            f"no connected geometric graph at n={n}, radius={radius}"
+        )
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def indices(self) -> Sequence[ProcessId]:
+        return tuple(sorted(self.graph.nodes))
+
+    @property
+    def n(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def diameter(self) -> int:
+        return nx.diameter(self.graph)
+
+    def neighbors(self, pid: ProcessId) -> Set[ProcessId]:
+        return set(self.graph.neighbors(pid))
+
+    def closed_neighborhood(self, pid: ProcessId) -> Set[ProcessId]:
+        return self.neighbors(pid) | {pid}
+
+
+class MultihopLayer(LossAdversary, CollisionDetector):
+    """Topology-aware loss plus neighbourhood-local collision detection.
+
+    The same object must be installed as both the environment's loss
+    adversary and its detector: the detector needs this round's sender
+    set (recorded by the loss path) to compute per-neighbourhood counts.
+    """
+
+    def __init__(
+        self,
+        network: MultihopNetwork,
+        inner: Optional[LossAdversary] = None,
+        completeness: Completeness = Completeness.FULL,
+        accuracy: AccuracyMode = AccuracyMode.ALWAYS,
+        r_acc: Optional[int] = None,
+        policy: Optional[DetectorPolicy] = None,
+    ) -> None:
+        self.network = network
+        self.inner = inner
+        self.completeness = completeness
+        self.accuracy = accuracy
+        self.r_acc = r_acc
+        self.policy = policy or BenignPolicy()
+        self._senders_by_round: Dict[int, Sequence[ProcessId]] = {}
+        self._losses_by_round: Dict[int, Dict[ProcessId, Set[ProcessId]]] = {}
+
+    # -- LossAdversary ------------------------------------------------------
+    def losses(
+        self,
+        round_index: int,
+        senders: Sequence[ProcessId],
+        receiver: ProcessId,
+    ) -> AbstractSet[ProcessId]:
+        self._senders_by_round[round_index] = list(senders)
+        neighborhood = self.network.closed_neighborhood(receiver)
+        lost = {s for s in senders if s not in neighborhood}
+        local_senders = [s for s in senders if s in neighborhood]
+        if self.inner is not None:
+            lost |= {
+                s
+                for s in self.inner.losses(
+                    round_index, local_senders, receiver
+                )
+                if s != receiver
+            }
+        self._losses_by_round.setdefault(round_index, {})[receiver] = lost
+        return lost
+
+    # -- CollisionDetector ----------------------------------------------------
+    def advise(
+        self,
+        round_index: int,
+        broadcasters: int,
+        received_counts: Mapping[ProcessId, int],
+    ) -> Dict[ProcessId, CollisionAdvice]:
+        senders = self._senders_by_round.get(round_index, [])
+        advice: Dict[ProcessId, CollisionAdvice] = {}
+        for pid, t in received_counts.items():
+            neighborhood = self.network.closed_neighborhood(pid)
+            c_local = sum(1 for s in senders if s in neighborhood)
+            if must_report_collision(self.completeness, c_local, t):
+                advice[pid] = CollisionAdvice.COLLISION
+            elif must_report_null(
+                self.accuracy, round_index, self.r_acc, c_local, t
+            ):
+                advice[pid] = CollisionAdvice.NULL
+            else:
+                advice[pid] = self.policy.free_choice(
+                    round_index, pid, c_local, t
+                )
+        return advice
+
+    def reset(self) -> None:
+        self._senders_by_round = {}
+        self._losses_by_round = {}
+        if self.inner is not None:
+            self.inner.reset()
+        self.policy.reset()
+
+
+# ----------------------------------------------------------------------
+# The broadcast problem over the multihop substrate
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class FloodResult:
+    """Outcome of one flood: coverage trajectory and completion round."""
+
+    covered_by_round: List[int]
+    completed_round: Optional[int]
+    n: int
+    diameter: int
+
+    @property
+    def completed(self) -> bool:
+        return self.completed_round is not None
+
+
+def flood(
+    network: MultihopNetwork,
+    source: ProcessId,
+    strategy: str = "backoff",
+    channel: str = "capture",
+    relay_probability: float = 0.35,
+    capture_limit: int = 1,
+    max_rounds: int = 400,
+    seed: int = 0,
+) -> FloodResult:
+    """Flood a message from ``source`` and measure coverage per round.
+
+    Per round, every informed node decides whether to relay:
+
+    * ``blind``   — always relay (the naive flood: heavy contention);
+    * ``backoff`` — relay with ``relay_probability`` (simple randomized
+      backoff, the standard contention fix).
+
+    Reception semantics per receiver, given its ``talking`` neighbours:
+
+    * ``channel='total'``   — the total collision model of Section 1.2:
+      decode iff *exactly one* neighbour talks; two or more jam each
+      other completely.  Blind flooding deadlocks on any topology where
+      frontier nodes permanently hear several informed relays (e.g. the
+      grid's diagonal frontier) — the behaviour that motivates backoff;
+    * ``channel='capture'`` — the paper's realistic alternative: up to
+      ``capture_limit`` of the talking neighbours are decoded, chosen at
+      random per receiver (arbitrary-subset loss, localised).
+    """
+    if strategy not in ("blind", "backoff"):
+        raise ConfigurationError("strategy must be 'blind' or 'backoff'")
+    if channel not in ("capture", "total"):
+        raise ConfigurationError("channel must be 'capture' or 'total'")
+    if source not in set(network.indices):
+        raise ConfigurationError(f"source {source} is not in the network")
+    rng = random.Random(seed)
+    informed: Set[ProcessId] = {source}
+    trajectory: List[int] = []
+    completed: Optional[int] = None
+    for round_index in range(1, max_rounds + 1):
+        if strategy == "blind":
+            relays = set(informed)
+        else:
+            relays = {
+                pid for pid in informed
+                if rng.random() < relay_probability
+            }
+            if not relays and informed != set(network.indices):
+                relays = {rng.choice(sorted(informed))}
+        newly: Set[ProcessId] = set()
+        for pid in network.indices:
+            if pid in informed:
+                continue
+            talking = [r for r in relays if r in network.neighbors(pid)]
+            if not talking:
+                continue
+            if channel == "total":
+                if len(talking) == 1:
+                    newly.add(pid)
+            else:
+                decoded = rng.sample(
+                    talking, min(capture_limit, len(talking))
+                )
+                if decoded:
+                    newly.add(pid)
+        informed |= newly
+        trajectory.append(len(informed))
+        if len(informed) == network.n:
+            completed = round_index
+            break
+    return FloodResult(
+        covered_by_round=trajectory,
+        completed_round=completed,
+        n=network.n,
+        diameter=network.diameter,
+    )

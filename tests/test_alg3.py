@@ -1,0 +1,211 @@
+"""Tests for Algorithm 3 (anonymous, 0-AC + NoCM + NOCF, Theorem 3)."""
+
+import pytest
+
+from repro.adversary.crash import ScheduledCrashes
+from repro.adversary.loss import IIDLoss, ReliableDelivery, SilenceLoss
+from repro.algorithms.alg3 import (
+    Alg3Process,
+    algorithm_3,
+    termination_bound,
+)
+from repro.algorithms.markers import VOTE
+from repro.algorithms.valuetree import ValueTree
+from repro.core.consensus import evaluate, require_solved
+from repro.core.execution import run_consensus
+from repro.core.multiset import Multiset
+from repro.core.types import ACTIVE, COLLISION, NULL
+from repro.experiments.scenarios import nocf_environment
+
+
+def test_is_anonymous():
+    assert algorithm_3(["a", "b"]).is_anonymous
+
+
+@pytest.mark.parametrize("vc", [2, 8, 64, 256])
+def test_terminates_under_total_silence(vc):
+    """The headline surprise of §7.4: consensus with NO message delivery."""
+    values = list(range(vc))
+    env = nocf_environment(4)
+    assignment = {i: values[(i * 5 + 1) % vc] for i in range(4)}
+    result = run_consensus(
+        env, algorithm_3(values), assignment,
+        max_rounds=termination_bound(vc) + 8,
+    )
+    require_solved(result, by_round=termination_bound(vc))
+
+
+def test_terminates_with_reliable_delivery_too():
+    # The algorithm never reads message contents, only presence; it must
+    # behave identically under perfect delivery.
+    values = list(range(16))
+    env = nocf_environment(3, loss=ReliableDelivery())
+    result = run_consensus(
+        env, algorithm_3(values), {0: 3, 1: 3, 2: 12},
+        max_rounds=termination_bound(16) + 8,
+    )
+    assert evaluate(result).solved
+
+
+def test_arbitrary_per_receiver_loss_is_harmless():
+    # Lemma 14 needs zero completeness + accuracy, not uniform loss.
+    values = list(range(32))
+    for seed in range(6):
+        env = nocf_environment(4, loss=IIDLoss(0.5, seed=seed))
+        result = run_consensus(
+            env, algorithm_3(values), {i: (i * 11) % 32 for i in range(4)},
+            max_rounds=termination_bound(32) + 8,
+        )
+        report = evaluate(result)
+        assert report.solved, f"seed {seed}: {report.problems}"
+
+
+def test_all_processes_decide_same_round_same_value():
+    """Lemmas 15/16: identical navigation advice => lockstep decisions."""
+    values = list(range(64))
+    env = nocf_environment(5)
+    result = run_consensus(
+        env, algorithm_3(values), {i: 40 + i for i in range(5)},
+        max_rounds=termination_bound(64) + 8,
+    )
+    rounds = set(result.decision_rounds.values())
+    decisions = set(result.decisions.values())
+    assert len(rounds) == 1 and len(decisions) == 1
+
+
+def test_decides_min_reachable_value_first():
+    # The search descends left first, so the smallest initial value wins
+    # when it lies leftmost in the common search path.
+    values = list(range(8))
+    env = nocf_environment(3)
+    result = run_consensus(
+        env, algorithm_3(values), {0: 1, 1: 6, 2: 6},
+        max_rounds=termination_bound(8) + 8,
+    )
+    assert set(result.decisions.values()) == {1}
+
+
+def test_crash_forces_reascent_but_still_terminates():
+    """The paper's worst case: a small-value process drags everyone deep
+    left, then dies; the survivors re-ascend and decide."""
+    values = list(range(64))
+    env = nocf_environment(
+        3, crash=ScheduledCrashes.at({9: [0]})
+    )
+    # Process 0 votes left at every level (value 0); others hold value 63.
+    result = run_consensus(
+        env, algorithm_3(values), {0: 0, 1: 63, 2: 63},
+        max_rounds=termination_bound(64, after_round=9) + 8,
+    )
+    report = evaluate(result)
+    assert report.solved
+    assert set(result.decisions[i] for i in (1, 2)) == {63}
+    # Termination cost exceeded the failure-free path: re-ascent happened.
+    failure_free = nocf_environment(3)
+    baseline = run_consensus(
+        failure_free, algorithm_3(values), {0: 63, 1: 63, 2: 63},
+        max_rounds=termination_bound(64) + 8,
+    )
+    assert (
+        result.last_decision_round() > baseline.last_decision_round()
+    )
+
+
+def test_validity_follows_from_accuracy():
+    # Decisions must be initial values even under arbitrary loss.
+    values = ["p", "q", "r", "s", "t"]
+    env = nocf_environment(4, loss=IIDLoss(0.7, seed=1))
+    result = run_consensus(
+        env, algorithm_3(values),
+        {0: "q", 1: "t", 2: "q", 3: "s"},
+        max_rounds=termination_bound(5) + 20,
+    )
+    assert evaluate(result).strong_validity
+
+
+# ----------------------------------------------------------------------
+# Unit-level behaviour of the automaton
+# ----------------------------------------------------------------------
+def make_proc(value, values=range(8)):
+    tree = ValueTree(values)
+    return Alg3Process(value, tree), tree
+
+
+def test_phase_cycle_order():
+    p, _ = make_proc(0)
+    seen = []
+    for _ in range(8):
+        seen.append(p.phase)
+        p.message(ACTIVE)
+        p.transition(Multiset([]), NULL, ACTIVE)
+        p._advance_round()
+    assert seen == [
+        "vote-val", "vote-left", "vote-right", "recurse",
+    ] * 2
+
+
+def test_votes_val_at_own_node():
+    tree = ValueTree(range(8))
+    p = Alg3Process(tree.root.value, tree)
+    assert p.message(ACTIVE) is VOTE
+
+
+def test_votes_left_when_value_in_left_subtree():
+    tree = ValueTree(range(8))
+    p = Alg3Process(0, tree)          # 0 is left of the root
+    p.message(ACTIVE); p.transition(Multiset([]), NULL, ACTIVE)
+    p._advance_round()
+    assert p.phase == "vote-left"
+    assert p.message(ACTIVE) is VOTE
+    p.transition(Multiset([VOTE]), NULL, ACTIVE)
+    p._advance_round()
+    assert p.message(ACTIVE) is None  # not in the right subtree
+    p.transition(Multiset([]), NULL, ACTIVE)
+    p._advance_round()
+    p.message(ACTIVE); p.transition(Multiset([]), NULL, ACTIVE)
+    p._advance_round()
+    assert p.curr is tree.root.left
+
+
+def test_collision_advice_counts_as_vote():
+    tree = ValueTree(range(8))
+    p = Alg3Process(7, tree)
+    # vote-val: heard a collision => someone voted for the root value.
+    p.message(ACTIVE); p.transition(Multiset([]), COLLISION, ACTIVE)
+    p._advance_round()
+    for _ in range(2):
+        p.message(ACTIVE); p.transition(Multiset([]), NULL, ACTIVE)
+        p._advance_round()
+    p.message(ACTIVE); p.transition(Multiset([]), NULL, ACTIVE)
+    assert p.has_decided and p.decision == tree.root.value
+
+
+def test_no_votes_ascends_to_parent():
+    tree = ValueTree(range(8))
+    p = Alg3Process(0, tree)
+    p.curr = tree.root.left           # pretend we descended already
+    for _ in range(3):
+        # Value 0 IS in this subtree, so silence everywhere is artificial
+        # (models the voters having crashed).
+        p._nav = [False, False, False]
+        p._phase_index = 3
+        break
+    p.message(ACTIVE)
+    p.transition(Multiset([]), NULL, ACTIVE)
+    assert p.curr is tree.root
+
+
+def test_ascend_from_root_is_noop():
+    tree = ValueTree(range(8))
+    p = Alg3Process(5, tree)
+    p._phase_index = 3
+    p._nav = [False, False, False]
+    p.message(ACTIVE)
+    p.transition(Multiset([]), NULL, ACTIVE)
+    assert p.curr is tree.root
+
+
+def test_termination_bound_formula():
+    assert termination_bound(2) == 8 * 1 + 4
+    assert termination_bound(2, after_round=10) == 10 + 8 + 4
+    assert termination_bound(256) >= 8 * 8

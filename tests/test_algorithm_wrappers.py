@@ -1,0 +1,64 @@
+"""Tests for the Algorithm / ConsensusAlgorithm factories (Defs 2-3)."""
+
+import pytest
+
+from repro.core.algorithm import Algorithm, ConsensusAlgorithm
+from repro.core.errors import ConfigurationError
+from repro.core.process import SilentProcess
+
+
+def test_anonymous_algorithm_spawns_equal_automata():
+    algo = Algorithm.anonymous(SilentProcess)
+    assert algo.is_anonymous
+    procs = algo.spawn_all([3, 7])
+    assert set(procs) == {3, 7}
+    assert type(procs[3]) is type(procs[7])
+
+
+def test_indexed_algorithm_sees_index():
+    seen = []
+
+    def factory(i):
+        seen.append(i)
+        return SilentProcess()
+
+    algo = Algorithm.indexed(factory)
+    assert not algo.is_anonymous
+    algo.spawn(42)
+    assert seen == [42]
+
+
+def test_consensus_algorithm_threads_values():
+    captured = []
+
+    def factory(value):
+        captured.append(value)
+        return SilentProcess()
+
+    algo = ConsensusAlgorithm.anonymous(factory)
+    procs = algo.instantiate({0: "x", 1: "y"})
+    assert set(procs) == {0, 1}
+    assert sorted(captured) == ["x", "y"]
+
+
+def test_consensus_algorithm_rejects_empty_assignment():
+    algo = ConsensusAlgorithm.anonymous(lambda v: SilentProcess())
+    with pytest.raises(ConfigurationError):
+        algo.instantiate({})
+
+
+def test_with_fixed_values_bakes_assignment():
+    algo = ConsensusAlgorithm.indexed(lambda i, v: SilentProcess())
+    fixed = algo.with_fixed_values({0: "a"})
+    assert fixed.spawn(0) is not None
+    with pytest.raises(ConfigurationError):
+        fixed.spawn(5)
+
+
+def test_indexed_consensus_factory_sees_both():
+    pairs = []
+    algo = ConsensusAlgorithm.indexed(
+        lambda i, v: pairs.append((i, v)) or SilentProcess()
+    )
+    algo.spawn(9, "z")
+    assert pairs == [(9, "z")]

@@ -1,0 +1,150 @@
+"""Tests for the Section 1.4 applications."""
+
+import random
+
+import pytest
+
+from repro.applications.aggregation import (
+    AggregationTree,
+    MaxConsensusProcess,
+    aggregate_naive,
+    aggregate_with_consensus,
+    max_consensus,
+)
+from repro.applications.clustering import ClusteredNetwork, cluster_vote
+from repro.core.consensus import evaluate
+from repro.core.errors import ConfigurationError
+from repro.core.execution import run_consensus
+from repro.experiments.scenarios import zero_oac_environment
+
+DOMAIN = list(range(32))
+
+
+# ----------------------------------------------------------------------
+# Max-consensus (the aggregation building block)
+# ----------------------------------------------------------------------
+def test_max_consensus_decides_the_group_maximum():
+    env = zero_oac_environment(4, cst=3, loss_rate=0.2, seed=1)
+    result = run_consensus(
+        env, max_consensus(DOMAIN), {0: 7, 1: 19, 2: 3, 3: 11},
+        max_rounds=300,
+    )
+    report = evaluate(result)
+    assert report.solved
+    assert set(result.decided_values().values()) == {19}
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_max_consensus_always_maximum_across_seeds(seed):
+    rng = random.Random(seed)
+    proposals = {i: rng.randrange(32) for i in range(5)}
+    env = zero_oac_environment(5, cst=4, loss_rate=0.3, seed=seed)
+    result = run_consensus(
+        env, max_consensus(DOMAIN), proposals, max_rounds=400
+    )
+    report = evaluate(result)
+    assert report.solved, report.problems
+    assert set(result.decided_values().values()) == {
+        max(proposals.values())
+    }
+
+
+def test_max_consensus_is_safe_like_alg2():
+    """Max-merge must not weaken Algorithm 2's safety."""
+    env = zero_oac_environment(4, cst=20, loss_rate=0.6, seed=2)
+    result = run_consensus(
+        env, max_consensus(DOMAIN), {0: 1, 1: 2, 2: 3, 3: 4},
+        max_rounds=60,
+    )
+    report = evaluate(result)
+    assert report.agreement and report.strong_validity
+
+
+# ----------------------------------------------------------------------
+# Aggregation pipelines
+# ----------------------------------------------------------------------
+def test_tree_levels_and_groups():
+    tree = AggregationTree(leaf_count=10, branching=3)
+    assert tree.levels() == [10, 4, 2, 1]
+    assert tree.groups_at(10) == [
+        (0, 1, 2), (3, 4, 5), (6, 7, 8), (9,),
+    ]
+    with pytest.raises(ConfigurationError):
+        AggregationTree(0)
+    with pytest.raises(ConfigurationError):
+        AggregationTree(4, branching=1)
+
+
+def test_naive_aggregation_exact_without_loss():
+    readings = [5, 30, 11, 2, 8, 30, 1, 19]
+    outcome = aggregate_naive(readings, loss_rate=0.0)
+    assert outcome.exact and outcome.result == 30
+
+
+def test_naive_aggregation_loses_values_silently():
+    readings = list(range(16))
+    wrong = sum(
+        not aggregate_naive(readings, loss_rate=0.5, seed=s).exact
+        for s in range(20)
+    )
+    assert wrong > 0
+
+
+def test_consensus_aggregation_is_exact_under_loss():
+    readings = [3, 28, 14, 9, 31, 6, 22, 17]
+    outcome = aggregate_with_consensus(
+        readings, DOMAIN, loss_rate=0.4, seed=5
+    )
+    assert outcome.exact
+    assert outcome.result == 31
+    assert outcome.safety_ok
+    assert outcome.consensus_groups > 0
+
+
+def test_consensus_aggregation_rejects_out_of_domain():
+    with pytest.raises(ConfigurationError):
+        aggregate_with_consensus([99], DOMAIN, 0.1)
+
+
+# ----------------------------------------------------------------------
+# Cluster voting
+# ----------------------------------------------------------------------
+def test_cluster_partition_covers_everyone():
+    net = ClusteredNetwork(n=10, cluster_size=4)
+    members = [i for cluster in net.clusters() for i in cluster]
+    assert members == list(range(10))
+
+
+def test_cluster_vote_agreement_everywhere():
+    net = ClusteredNetwork(n=12, cluster_size=4)
+    readings = {i: (i * 7) % 32 for i in range(12)}
+    reports = cluster_vote(net, readings, DOMAIN, seed=1)
+    assert len(reports) == 3
+    for report in reports:
+        assert report.agreement_ok
+        assert report.every_member_voted
+        assert report.decision in set(report.proposals.values())
+
+
+def test_cluster_vote_requires_full_readings():
+    net = ClusteredNetwork(n=4, cluster_size=2)
+    with pytest.raises(ConfigurationError):
+        cluster_vote(net, {0: 1}, DOMAIN)
+
+
+def test_clustering_saves_transport_for_far_sources():
+    net_far = ClusteredNetwork(n=16, cluster_size=4, base_distance=40)
+    readings = {i: (i * 3) % 32 for i in range(16)}
+    reports = cluster_vote(net_far, readings, DOMAIN, seed=2)
+    assert net_far.clustered_transport_cost(reports) < (
+        net_far.naive_transport_cost()
+    )
+
+
+def test_singleton_cluster_short_circuits():
+    net = ClusteredNetwork(n=5, cluster_size=4)
+    readings = {i: i for i in range(5)}
+    reports = cluster_vote(net, readings, DOMAIN, seed=3)
+    assert reports[-1].members == (4,)
+    assert reports[-1].decision == 4
+    assert reports[-1].local_messages == 0

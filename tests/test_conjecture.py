@@ -1,0 +1,83 @@
+"""Tests for the Conjecture 1 exploration machinery."""
+
+import pytest
+
+from repro.algorithms.nonanonymous import non_anonymous_algorithm
+from repro.core.errors import ConfigurationError
+from repro.lowerbounds.conjecture import (
+    find_composable_pair,
+    max_composable_prefix,
+)
+
+VALUES = list(range(64))
+IDS = list(range(8))
+
+
+def algo():
+    return non_anonymous_algorithm(VALUES, IDS)
+
+
+def test_found_pair_is_composable():
+    outcome = find_composable_pair(algo(), IDS, 2, VALUES, k=2)
+    assert outcome.found
+    (set_a, v_a, res_a), (set_b, v_b, res_b) = outcome.pair
+    assert v_a != v_b
+    assert not (set(set_a) & set(set_b))
+    assert res_a.broadcast_count_sequence(2) == (
+        res_b.broadcast_count_sequence(2)
+    )
+
+
+def test_disjoint_mode_uses_the_partition():
+    outcome = find_composable_pair(
+        algo(), IDS, 2, VALUES, k=1, mode="disjoint"
+    )
+    assert outcome.found
+    (set_a, _, _), (set_b, _, _) = outcome.pair
+    # Partition groups are aligned blocks of size n.
+    for s in (set_a, set_b):
+        assert s[0] % 2 == 0 and s[1] == s[0] + 1
+
+
+def test_mode_validation():
+    with pytest.raises(ConfigurationError):
+        find_composable_pair(algo(), IDS, 2, VALUES, k=1, mode="bogus")
+    with pytest.raises(ConfigurationError):
+        find_composable_pair(
+            algo(), [0, 1, 2], 2, VALUES, k=1, mode="disjoint"
+        )
+
+
+def test_search_eventually_fails_at_long_prefixes():
+    # With only two values the bit-spelling separates executions fast.
+    small_values = [0, 1]
+    small_algo = non_anonymous_algorithm(small_values, IDS)
+    k_max = max_composable_prefix(
+        small_algo, IDS, 2, small_values, mode="disjoint", k_limit=40
+    )
+    assert k_max < 40
+
+
+def test_overlapping_universe_is_at_least_as_strong():
+    k_disjoint = max_composable_prefix(
+        algo(), IDS, 2, VALUES, mode="disjoint", k_limit=16
+    )
+    k_overlap = max_composable_prefix(
+        algo(), IDS, 2, VALUES, mode="overlapping", k_limit=16
+    )
+    assert k_overlap >= k_disjoint >= 1
+
+
+def test_pair_feeds_the_lemma23_composition():
+    """The found pair must actually compose (end-to-end integration)."""
+    from repro.lowerbounds.compose import compose_alpha_executions
+
+    outcome = find_composable_pair(
+        algo(), IDS, 2, VALUES, k=3, mode="overlapping"
+    )
+    assert outcome.found
+    (set_a, v_a, res_a), (set_b, v_b, res_b) = outcome.pair
+    composed = compose_alpha_executions(
+        algo(), res_a, res_b, v_a, v_b, k=3
+    )
+    assert composed.indistinguishability_holds

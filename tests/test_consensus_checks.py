@@ -1,0 +1,145 @@
+"""Tests for the Section 6 consensus-property checkers."""
+
+import pytest
+
+from repro.core.consensus import (
+    check_agreement,
+    check_strong_validity,
+    check_termination,
+    check_uniform_validity,
+    evaluate,
+    require_agreement,
+    require_solved,
+    require_strong_validity,
+    require_termination,
+    require_uniform_validity,
+)
+from repro.core.errors import (
+    AgreementViolation,
+    ConfigurationError,
+    TerminationViolation,
+    ValidityViolation,
+)
+from repro.core.records import ExecutionResult
+
+
+def result_with(decisions, initials, crash_rounds=None, rounds=None):
+    indices = sorted(initials)
+    return ExecutionResult(
+        indices=indices,
+        records=[],
+        decisions={i: decisions.get(i) for i in indices},
+        decision_rounds=rounds or {
+            i: (1 if decisions.get(i) is not None else None)
+            for i in indices
+        },
+        crash_rounds=crash_rounds or {i: None for i in indices},
+        initial_values=initials,
+    )
+
+
+def test_agreement_holds_on_unanimous_decision():
+    r = result_with({0: "v", 1: "v"}, {0: "v", 1: "w"})
+    assert check_agreement(r)
+
+
+def test_agreement_fails_on_split_decision():
+    r = result_with({0: "v", 1: "w"}, {0: "v", 1: "w"})
+    assert not check_agreement(r)
+    with pytest.raises(AgreementViolation):
+        require_agreement(r)
+
+
+def test_agreement_binds_crashed_deciders():
+    # A process that decided then crashed still counts.
+    r = result_with(
+        {0: "v", 1: "w"}, {0: "v", 1: "w"},
+        crash_rounds={0: 2, 1: None},
+    )
+    assert not check_agreement(r)
+
+
+def test_strong_validity_accepts_initial_values_only():
+    good = result_with({0: "v"}, {0: "v", 1: "w"})
+    assert check_strong_validity(good)
+    bad = result_with({0: "z"}, {0: "v", 1: "w"})
+    assert not check_strong_validity(bad)
+    with pytest.raises(ValidityViolation):
+        require_strong_validity(bad)
+
+
+def test_uniform_validity_is_vacuous_for_mixed_inputs():
+    r = result_with({0: "z"}, {0: "v", 1: "w"})
+    assert check_uniform_validity(r)
+
+
+def test_uniform_validity_binds_unanimous_inputs():
+    bad = result_with({0: "z", 1: "z"}, {0: "v", 1: "v"})
+    assert not check_uniform_validity(bad)
+    with pytest.raises(ValidityViolation):
+        require_uniform_validity(bad)
+
+
+def test_strong_validity_implies_uniform_validity():
+    r = result_with({0: "v", 1: "v"}, {0: "v", 1: "v"})
+    assert check_strong_validity(r)
+    assert check_uniform_validity(r)
+
+
+def test_validity_requires_initial_values():
+    r = ExecutionResult(
+        indices=[0], records=[], decisions={0: "v"},
+        decision_rounds={0: 1}, crash_rounds={0: None},
+    )
+    with pytest.raises(ConfigurationError):
+        check_strong_validity(r)
+
+
+def test_termination_requires_all_correct_to_decide():
+    r = result_with({0: "v"}, {0: "v", 1: "v"})
+    assert not check_termination(r)
+    with pytest.raises(TerminationViolation):
+        require_termination(r)
+
+
+def test_termination_ignores_crashed_processes():
+    r = result_with(
+        {0: "v"}, {0: "v", 1: "v"},
+        crash_rounds={0: None, 1: 3},
+    )
+    assert check_termination(r)
+
+
+def test_termination_by_round_bound():
+    r = result_with(
+        {0: "v", 1: "v"}, {0: "v", 1: "v"},
+        rounds={0: 2, 1: 5},
+    )
+    assert check_termination(r, by_round=5)
+    assert not check_termination(r, by_round=4)
+
+
+def test_evaluate_collects_all_problems():
+    r = result_with({0: "x", 1: "y"}, {0: "v", 1: "v"})
+    report = evaluate(r)
+    assert not report.agreement
+    assert not report.strong_validity
+    assert not report.uniform_validity
+    assert report.termination
+    assert not report.solved
+    assert not report.safe
+    assert len(report.problems) == 3
+
+
+def test_evaluate_solved_report():
+    r = result_with({0: "v", 1: "v"}, {0: "v", 1: "w"})
+    report = evaluate(r)
+    assert report.solved and report.safe
+    assert report.problems == ()
+    assert report.decided_values == ("v",)
+
+
+def test_require_solved_raises_first_violation():
+    r = result_with({0: "x", 1: "y"}, {0: "v", 1: "v"})
+    with pytest.raises(AgreementViolation):
+        require_solved(r)

@@ -1,0 +1,176 @@
+"""Tests for the §4.1 extension: k-wake-up service + anonymous counting."""
+
+import pytest
+
+from repro.adversary.crash import ScheduledCrashes
+from repro.adversary.loss import EventualCollisionFreedom, IIDLoss, ReliableDelivery
+from repro.algorithms.counting import CountingProcess, counting_algorithm
+from repro.contention.services import KWakeUpService, LeaderElectionService
+from repro.core.environment import Environment
+from repro.core.errors import ConfigurationError
+from repro.core.execution import ExecutionEngine
+from repro.core.types import ACTIVE
+from repro.detectors.classes import ZERO_OAC
+from repro.lowerbounds.counting import counting_impossibility_witness
+
+INDICES = (0, 1, 2, 3)
+
+
+def active_set(advice):
+    return {i for i, a in advice.items() if a is ACTIVE}
+
+
+# ----------------------------------------------------------------------
+# KWakeUpService
+# ----------------------------------------------------------------------
+def test_kwakeup_single_active_after_stabilization():
+    cm = KWakeUpService(k=2, stabilization_round=3)
+    for r in range(3, 20):
+        assert len(active_set(cm.advise(r, INDICES))) == 1
+
+
+def test_kwakeup_blocks_have_length_k():
+    cm = KWakeUpService(k=3, stabilization_round=1)
+    actives = [
+        next(iter(active_set(cm.advise(r, INDICES))))
+        for r in range(1, 1 + 3 * len(INDICES))
+    ]
+    assert actives == [0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3]
+
+
+def test_kwakeup_rotates_through_everyone_forever():
+    cm = KWakeUpService(k=1, stabilization_round=1)
+    seen = set()
+    for r in range(1, 9):
+        seen |= active_set(cm.advise(r, INDICES))
+    assert seen == set(INDICES)
+
+
+def test_kwakeup_block_start_detection():
+    cm = KWakeUpService(k=2, stabilization_round=3)
+    assert cm.block_start(3) and cm.block_start(5)
+    assert not cm.block_start(4)
+    assert not cm.block_start(2)
+
+
+def test_kwakeup_validation():
+    with pytest.raises(ConfigurationError):
+        KWakeUpService(k=0)
+    with pytest.raises(ConfigurationError):
+        KWakeUpService(k=1, stabilization_round=0)
+
+
+def test_kwakeup_is_not_a_leader_election_service():
+    cm = KWakeUpService(k=1, stabilization_round=1)
+    leaders = {
+        next(iter(active_set(cm.advise(r, INDICES)))) for r in (1, 2)
+    }
+    assert len(leaders) == 2
+
+
+# ----------------------------------------------------------------------
+# The counting protocol
+# ----------------------------------------------------------------------
+def run_counting(n, k, stab, rotations=4, loss=None, crash=None, seed=0):
+    env = Environment(
+        indices=tuple(range(n)),
+        detector=ZERO_OAC.make(r_acc=stab),
+        contention=KWakeUpService(k=k, stabilization_round=stab),
+        loss=loss or EventualCollisionFreedom(
+            IIDLoss(0.4, seed=seed), r_cf=stab
+        ),
+        crash=crash or __import__(
+            "repro.adversary.crash", fromlist=["NoCrashes"]
+        ).NoCrashes(),
+    )
+    env.reset()
+    processes = counting_algorithm().spawn_all(env.indices)
+    engine = ExecutionEngine(env, processes)
+    engine.run(stab + rotations * k * n, until_all_decided=False)
+    return engine.result(), processes
+
+
+@pytest.mark.parametrize("n", [2, 3, 6])
+@pytest.mark.parametrize("k", [1, 2, 4])
+def test_counting_converges_to_population(n, k):
+    result, processes = run_counting(n, k, stab=5, seed=n + k)
+    for pid in result.indices:
+        assert processes[pid].current_count == n, (
+            f"pid {pid}: {processes[pid].counts}"
+        )
+
+
+def test_counting_tracks_crashes():
+    result, processes = run_counting(
+        5, 2, stab=4, rotations=6,
+        crash=ScheduledCrashes.at({15: [4]}),
+    )
+    for pid in result.correct_indices():
+        assert processes[pid].current_count == 4
+
+
+def test_counting_with_clean_channel():
+    result, processes = run_counting(4, 1, stab=1, loss=ReliableDelivery())
+    assert all(
+        processes[pid].current_count == 4 for pid in result.indices
+    )
+
+
+def test_counting_outputs_stabilize():
+    """Once correct, outputs stay correct (no oscillation post-CST)."""
+    _, processes = run_counting(4, 2, stab=6, rotations=6, seed=9)
+    for proc in processes.values():
+        tail = proc.counts[-3:]
+        assert tail == [4, 4, 4]
+
+
+def test_counting_process_is_anonymous():
+    assert counting_algorithm().is_anonymous
+
+
+# ----------------------------------------------------------------------
+# The impossibility under a leader-election service
+# ----------------------------------------------------------------------
+def test_counting_impossible_with_leader_election():
+    witness = counting_impossibility_witness(counting_algorithm())
+    assert witness.leader_indistinguishable
+    assert witness.followers_indistinguishable
+    assert witness.counting_defeated
+    # In particular the protocol's outputs cannot differ across sizes.
+    assert witness.small_outputs[0] == witness.large_outputs[0]
+
+
+def test_counting_witness_rejects_nonanonymous():
+    from repro.core.algorithm import Algorithm
+    from repro.core.process import SilentProcess
+
+    algo = Algorithm.indexed(lambda i: SilentProcess())
+    with pytest.raises(ConfigurationError):
+        counting_impossibility_witness(algo)
+
+
+def test_counting_witness_rejects_oversized_gap():
+    with pytest.raises(ConfigurationError):
+        counting_impossibility_witness(
+            counting_algorithm(), small_followers=1, large_followers=3
+        )
+
+
+def test_counting_solvable_with_kwakeup_but_not_ls_side_by_side():
+    """The §4.1 separation in one test: the same protocol counts
+    correctly under k-wake-up and outputs nothing under leader election
+    (its block-start trigger never fires for followers)."""
+    _, processes = run_counting(3, 2, stab=3, seed=1)
+    assert processes[0].current_count == 3
+
+    env = Environment(
+        indices=(0, 1, 2),
+        detector=ZERO_OAC.make(r_acc=1),
+        contention=LeaderElectionService(1, leader=0),
+        loss=ReliableDelivery(),
+    )
+    env.reset()
+    ls_procs = counting_algorithm().spawn_all(env.indices)
+    ExecutionEngine(env, ls_procs).run(40, until_all_decided=False)
+    assert ls_procs[1].current_count is None
+    assert ls_procs[2].current_count is None

@@ -1,0 +1,175 @@
+"""Tests for ParametricCollisionDetector and the free-choice policies."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError, ModelViolation
+from repro.core.types import COLLISION, NULL, CollisionAdvice
+from repro.detectors.detector import (
+    ParametricCollisionDetector,
+    no_cd_detector,
+    perfect_detector,
+)
+from repro.detectors.policy import (
+    BenignPolicy,
+    CallbackPolicy,
+    NoisyPolicy,
+    SeededRandomPolicy,
+    SilentPolicy,
+    SpuriousUntilPolicy,
+    TargetedSpuriousPolicy,
+)
+from repro.detectors.properties import AccuracyMode, Completeness
+
+
+def advise(det, r, c, counts):
+    return det.advise(r, c, counts)
+
+
+# ----------------------------------------------------------------------
+# Obligations always win over the policy
+# ----------------------------------------------------------------------
+def test_completeness_obligation_overrides_silent_policy():
+    det = ParametricCollisionDetector(
+        Completeness.FULL, AccuracyMode.NEVER, policy=SilentPolicy()
+    )
+    out = advise(det, 1, 2, {0: 1, 1: 2})
+    assert out[0] is COLLISION   # lost one message: obliged
+    assert out[1] is NULL        # received all: free, policy says null
+
+
+def test_accuracy_obligation_overrides_noisy_policy():
+    det = ParametricCollisionDetector(
+        Completeness.ZERO, AccuracyMode.ALWAYS, policy=NoisyPolicy()
+    )
+    out = advise(det, 1, 2, {0: 2, 1: 1})
+    assert out[0] is NULL        # received all: accuracy forces null
+    assert out[1] is COLLISION   # free: noisy policy reports
+
+
+def test_half_detector_may_stay_silent_at_exactly_half():
+    det = ParametricCollisionDetector(
+        Completeness.HALF, AccuracyMode.ALWAYS, policy=SilentPolicy()
+    )
+    out = advise(det, 1, 2, {0: 1})
+    assert out[0] is NULL
+
+
+def test_majority_detector_must_report_at_exactly_half():
+    det = ParametricCollisionDetector(
+        Completeness.MAJORITY, AccuracyMode.ALWAYS, policy=SilentPolicy()
+    )
+    out = advise(det, 1, 2, {0: 1})
+    assert out[0] is COLLISION
+
+
+def test_eventual_accuracy_gates_by_round():
+    det = ParametricCollisionDetector(
+        Completeness.ZERO, AccuracyMode.EVENTUAL, r_acc=5,
+        policy=NoisyPolicy(),
+    )
+    # Before r_acc: free choice, the noisy policy lies.
+    assert advise(det, 4, 1, {0: 1})[0] is COLLISION
+    # From r_acc: accuracy obliges null on full reception.
+    assert advise(det, 5, 1, {0: 1})[0] is NULL
+
+
+def test_impossible_counts_raise():
+    det = perfect_detector()
+    with pytest.raises(ModelViolation):
+        advise(det, 1, 1, {0: 2})
+
+
+# ----------------------------------------------------------------------
+# Configuration validation
+# ----------------------------------------------------------------------
+def test_eventual_requires_r_acc():
+    with pytest.raises(ConfigurationError):
+        ParametricCollisionDetector(
+            Completeness.FULL, AccuracyMode.EVENTUAL
+        )
+
+
+def test_r_acc_forbidden_without_eventual():
+    with pytest.raises(ConfigurationError):
+        ParametricCollisionDetector(
+            Completeness.FULL, AccuracyMode.ALWAYS, r_acc=3
+        )
+
+
+def test_repr_mentions_class_and_policy():
+    det = ParametricCollisionDetector(
+        Completeness.MAJORITY, AccuracyMode.EVENTUAL, r_acc=2
+    )
+    text = repr(det)
+    assert "MAJORITY" in text and "r_acc=2" in text and "BenignPolicy" in text
+
+
+# ----------------------------------------------------------------------
+# Canned detectors
+# ----------------------------------------------------------------------
+def test_no_cd_detector_reports_everywhere():
+    det = no_cd_detector()
+    out = advise(det, 1, 0, {0: 0, 1: 0})
+    assert all(a is COLLISION for a in out.values())
+    out = advise(det, 7, 3, {0: 3, 1: 0})
+    assert all(a is COLLISION for a in out.values())
+
+
+def test_perfect_detector_is_truthful():
+    det = perfect_detector()
+    out = advise(det, 1, 2, {0: 2, 1: 1, 2: 0})
+    assert out[0] is NULL
+    assert out[1] is COLLISION
+    assert out[2] is COLLISION
+
+
+# ----------------------------------------------------------------------
+# Policies
+# ----------------------------------------------------------------------
+def test_benign_policy_tracks_truth():
+    p = BenignPolicy()
+    assert p.free_choice(1, 0, 2, 1) is COLLISION
+    assert p.free_choice(1, 0, 2, 2) is NULL
+
+
+def test_spurious_until_policy():
+    p = SpuriousUntilPolicy(quiet_round=3)
+    assert p.free_choice(2, 0, 1, 1) is COLLISION   # lying
+    assert p.free_choice(3, 0, 1, 1) is NULL        # honest now
+
+
+def test_seeded_random_policy_replays():
+    a = SeededRandomPolicy(p_collision=0.5, seed=42)
+    seq1 = [a.free_choice(r, 0, 1, 0) for r in range(20)]
+    a.reset()
+    seq2 = [a.free_choice(r, 0, 1, 0) for r in range(20)]
+    assert seq1 == seq2
+    assert COLLISION in seq1 and NULL in seq1
+
+
+def test_seeded_random_policy_validates_probability():
+    with pytest.raises(ValueError):
+        SeededRandomPolicy(p_collision=1.5)
+
+
+def test_targeted_spurious_policy():
+    p = TargetedSpuriousPolicy(
+        spurious_rounds=[2], spurious_pairs=[(5, 1)]
+    )
+    assert p.free_choice(2, 0, 1, 1) is COLLISION
+    assert p.free_choice(5, 1, 1, 1) is COLLISION
+    assert p.free_choice(5, 0, 1, 1) is NULL
+    assert p.free_choice(3, 0, 1, 1) is NULL
+
+
+def test_callback_policy_delegates_and_resets():
+    calls = []
+    resets = []
+    p = CallbackPolicy(
+        lambda r, pid, c, t: calls.append((r, pid)) or NULL,
+        on_reset=lambda: resets.append(True),
+    )
+    assert p.free_choice(1, 7, 0, 0) is NULL
+    p.reset()
+    assert calls == [(1, 7)]
+    assert resets == [True]

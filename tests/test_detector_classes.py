@@ -1,0 +1,131 @@
+"""Tests for the Figure 1 detector-class lattice."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.detectors.classes import (
+    AC,
+    ALL_CLASSES,
+    HALF_AC,
+    HALF_OAC,
+    MAJ_AC,
+    MAJ_OAC,
+    NO_ACC,
+    NO_CD,
+    OAC,
+    ZERO_AC,
+    ZERO_OAC,
+    containment_pairs,
+    get_class,
+)
+from repro.detectors.detector import ParametricCollisionDetector, no_cd_detector
+from repro.detectors.policy import SilentPolicy
+from repro.detectors.properties import AccuracyMode, Completeness
+
+
+def test_registry_has_figure1_plus_specials():
+    names = {c.name for c in ALL_CLASSES}
+    assert names == {
+        "AC", "OAC", "maj-AC", "maj-OAC", "half-AC", "half-OAC",
+        "0-AC", "0-OAC", "NoACC", "NoCD",
+    }
+
+
+def test_get_class_by_name_and_unknown():
+    assert get_class("maj-OAC") is MAJ_OAC
+    with pytest.raises(ConfigurationError):
+        get_class("perfect")
+
+
+def test_completeness_chain_within_accurate_row():
+    # AC ⊆ maj-AC ⊆ half-AC ⊆ 0-AC (stronger obligations => subclass).
+    assert AC.is_subclass_of(MAJ_AC)
+    assert MAJ_AC.is_subclass_of(HALF_AC)
+    assert HALF_AC.is_subclass_of(ZERO_AC)
+    assert not ZERO_AC.is_subclass_of(HALF_AC)
+
+
+def test_accurate_row_inside_eventually_accurate_row():
+    for strong, weak in (
+        (AC, OAC), (MAJ_AC, MAJ_OAC), (HALF_AC, HALF_OAC),
+        (ZERO_AC, ZERO_OAC),
+    ):
+        assert strong.is_subclass_of(weak)
+        assert not weak.is_subclass_of(strong)
+
+
+def test_everything_practical_is_inside_zero_oac():
+    # Section 7.2: 0-OAC is the most general practical class.
+    for cls in (AC, OAC, MAJ_AC, MAJ_OAC, HALF_AC, HALF_OAC, ZERO_AC):
+        assert cls.is_subclass_of(ZERO_OAC)
+
+
+def test_lemma1_nocd_inside_noacc():
+    assert NO_CD.is_subclass_of(NO_ACC)
+    assert not NO_ACC.is_subclass_of(NO_CD)
+
+
+def test_nocd_not_inside_any_accuracy_class():
+    for cls in (AC, OAC, ZERO_AC, ZERO_OAC):
+        assert not NO_CD.is_subclass_of(cls)
+
+
+def test_membership_accepts_stronger_detectors():
+    perfect = ParametricCollisionDetector(
+        Completeness.FULL, AccuracyMode.ALWAYS
+    )
+    for cls in (AC, OAC, MAJ_AC, MAJ_OAC, HALF_AC, HALF_OAC,
+                ZERO_AC, ZERO_OAC, NO_ACC):
+        assert cls.contains(perfect)
+
+
+def test_membership_rejects_weaker_detectors():
+    zero_only = ParametricCollisionDetector(
+        Completeness.ZERO, AccuracyMode.EVENTUAL, r_acc=1
+    )
+    assert ZERO_OAC.contains(zero_only)
+    assert not ZERO_AC.contains(zero_only)
+    assert not MAJ_OAC.contains(zero_only)
+
+
+def test_nocd_membership_is_structural():
+    assert NO_CD.contains(no_cd_detector())
+    honest = ParametricCollisionDetector(
+        Completeness.FULL, AccuracyMode.NEVER
+    )
+    assert not NO_CD.contains(honest)
+
+
+def test_make_builds_member_of_class():
+    det = HALF_OAC.make(r_acc=7, policy=SilentPolicy())
+    assert det.completeness is Completeness.HALF
+    assert det.accuracy is AccuracyMode.EVENTUAL
+    assert det.r_acc == 7
+    assert HALF_OAC.contains(det)
+
+
+def test_make_defaults_r_acc_to_one():
+    det = MAJ_OAC.make()
+    assert det.r_acc == 1
+
+
+def test_make_rejects_r_acc_for_accurate_classes():
+    with pytest.raises(ConfigurationError):
+        ZERO_AC.make(r_acc=3)
+
+
+def test_make_nocd_admits_no_options():
+    det = NO_CD.make()
+    assert NO_CD.contains(det)
+    with pytest.raises(ConfigurationError):
+        NO_CD.make(r_acc=1)
+
+
+def test_containment_pairs_are_sound():
+    pairs = set(containment_pairs())
+    assert ("AC", "0-OAC") in pairs
+    assert ("NoCD", "NoACC") in pairs
+    assert ("0-OAC", "AC") not in pairs
+    # Containment must be antisymmetric on distinct classes.
+    for a, b in pairs:
+        assert (b, a) not in pairs

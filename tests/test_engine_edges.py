@@ -1,0 +1,80 @@
+"""Edge-case coverage for the engine entry points and bookkeeping."""
+
+import pytest
+
+from repro.algorithms.alg1 import algorithm_1
+from repro.contention.services import NoContentionManager
+from repro.core.algorithm import Algorithm
+from repro.core.environment import Environment
+from repro.core.errors import ConfigurationError
+from repro.core.execution import ExecutionEngine, run_algorithm, run_consensus
+from repro.core.process import ScriptedProcess
+from repro.detectors.detector import perfect_detector
+from repro.experiments.scenarios import maj_oac_environment
+
+
+def simple_env(n=2):
+    return Environment(
+        indices=tuple(range(n)),
+        detector=perfect_detector(),
+        contention=NoContentionManager(),
+    )
+
+
+def test_run_consensus_requires_matching_assignment():
+    env = maj_oac_environment(3)
+    with pytest.raises(ConfigurationError):
+        run_consensus(env, algorithm_1(), {0: "a"}, max_rounds=5)
+    with pytest.raises(ConfigurationError):
+        run_consensus(
+            env, algorithm_1(), {0: "a", 1: "b", 2: "c", 9: "d"},
+            max_rounds=5,
+        )
+
+
+def test_round_observer_sees_every_round():
+    env = simple_env()
+    seen = []
+    algo = Algorithm(lambda i: ScriptedProcess(["m"] * 3), anonymous=False)
+    env.reset()
+    engine = ExecutionEngine(env, algo.spawn_all(env.indices))
+    engine.run(3, until_all_decided=False, observer=seen.append)
+    assert [rec.round for rec in seen] == [1, 2, 3]
+
+
+def test_result_snapshot_is_stable_across_calls():
+    env = simple_env()
+    algo = Algorithm(lambda i: ScriptedProcess([]), anonymous=False)
+    env.reset()
+    engine = ExecutionEngine(env, algo.spawn_all(env.indices))
+    engine.run(2, until_all_decided=False)
+    first = engine.result()
+    engine.run(1, until_all_decided=False)
+    second = engine.result()
+    assert first.rounds == 2
+    assert second.rounds == 3
+
+
+def test_run_algorithm_resets_environment_components():
+    """Stateful components must be reset between runs for replayability."""
+    env = maj_oac_environment(3, cst=2, seed=5)
+    a = run_consensus(
+        env, algorithm_1(), {0: 1, 1: 2, 2: 3}, max_rounds=20
+    )
+    b = run_consensus(
+        env, algorithm_1(), {0: 1, 1: 2, 2: 3}, max_rounds=20
+    )
+    assert a.decisions == b.decisions
+    assert a.broadcast_count_sequence() == b.broadcast_count_sequence()
+
+
+def test_zero_round_run_produces_empty_result():
+    env = simple_env()
+    result = run_algorithm(
+        env,
+        Algorithm(lambda i: ScriptedProcess([]), anonymous=False),
+        max_rounds=0,
+    )
+    assert result.rounds == 0
+    assert result.correct_indices() == (0, 1)
+    assert result.broadcast_count_sequence() == ()

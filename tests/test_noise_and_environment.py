@@ -1,0 +1,191 @@
+"""Tests for the noise lemma validators (§5.5) and Environment/CST."""
+
+import pytest
+
+from repro.adversary.loss import (
+    EventualCollisionFreedom,
+    IIDLoss,
+    ReliableDelivery,
+    SilenceLoss,
+    satisfies_ecf,
+)
+from repro.contention.services import NoContentionManager, WakeUpService
+from repro.core.algorithm import Algorithm
+from repro.core.environment import Environment
+from repro.core.errors import ConfigurationError
+from repro.core.execution import run_algorithm
+from repro.core.process import ScriptedProcess
+from repro.detectors.classes import ZERO_AC, ZERO_OAC
+from repro.detectors.detector import no_cd_detector, perfect_detector
+from repro.detectors.noise import (
+    check_detector_trace,
+    check_noise_lemma,
+    detector_trace_violations,
+    noise_lemma_violations,
+    silence_implies_no_broadcast,
+)
+from repro.detectors.policy import SilentPolicy
+from repro.detectors.properties import AccuracyMode, Completeness
+
+
+def run_with(detector, scripts, n=3, loss=None, rounds=2):
+    env = Environment(
+        indices=tuple(range(n)),
+        detector=detector,
+        contention=NoContentionManager(),
+        loss=loss or SilenceLoss(),
+    )
+    algo = Algorithm(
+        lambda i: ScriptedProcess(scripts.get(i, [])), anonymous=False
+    )
+    return run_algorithm(env, algo, max_rounds=rounds, until_all_decided=False)
+
+
+# ----------------------------------------------------------------------
+# Noise lemma (Lemma 2) and Corollary 1
+# ----------------------------------------------------------------------
+def test_noise_lemma_holds_for_zero_complete_detector():
+    result = run_with(ZERO_AC.make(), {0: ["m", "m"]})
+    assert check_noise_lemma(result)
+    assert silence_implies_no_broadcast(result)
+
+
+def test_noise_lemma_flags_silent_loss():
+    # A detector with no completeness can stay silent while messages die.
+    det = ZERO_AC.make()
+    det.completeness = Completeness.NONE
+    det.policy = SilentPolicy()
+    result = run_with(det, {0: ["m"]})
+    violations = noise_lemma_violations(result)
+    assert (1, 1) in violations and (1, 2) in violations
+    assert not check_noise_lemma(result)
+    assert not silence_implies_no_broadcast(result)
+
+
+def test_detector_trace_validation_accepts_legal_runs():
+    result = run_with(perfect_detector(), {0: ["m"], 1: ["x"]})
+    assert check_detector_trace(
+        result, Completeness.FULL, AccuracyMode.ALWAYS
+    )
+    # A FULL-legal trace is legal for every weaker completeness too.
+    assert check_detector_trace(
+        result, Completeness.ZERO, AccuracyMode.ALWAYS
+    )
+
+
+def test_detector_trace_validation_catches_missing_reports():
+    det = ZERO_AC.make()
+    det.completeness = Completeness.NONE
+    det.policy = SilentPolicy()
+    result = run_with(det, {0: ["m"]})
+    violations = detector_trace_violations(
+        result, Completeness.ZERO, AccuracyMode.ALWAYS
+    )
+    assert violations
+    assert all(reason == "missing obligatory collision report"
+               for _, _, reason in violations)
+
+
+def test_detector_trace_validation_catches_false_positives():
+    result = run_with(no_cd_detector(), {0: ["m"]}, loss=ReliableDelivery())
+    violations = detector_trace_violations(
+        result, Completeness.FULL, AccuracyMode.ALWAYS
+    )
+    assert violations
+    assert any(reason == "collision report violates accuracy"
+               for _, _, reason in violations)
+
+
+def test_eventual_accuracy_trace_validation_ignores_prefix():
+    result = run_with(no_cd_detector(), {0: ["m"]}, loss=ReliableDelivery(),
+                      rounds=2)
+    # With r_acc=3 the two noisy rounds are legal for OAC-style classes.
+    assert check_detector_trace(
+        result, Completeness.FULL, AccuracyMode.EVENTUAL, r_acc=3
+    )
+
+
+# ----------------------------------------------------------------------
+# Environment and CST
+# ----------------------------------------------------------------------
+def test_environment_validates_indices():
+    with pytest.raises(ConfigurationError):
+        Environment(
+            indices=(),
+            detector=perfect_detector(),
+            contention=NoContentionManager(),
+        )
+    with pytest.raises(ConfigurationError):
+        Environment(
+            indices=(1, 1),
+            detector=perfect_detector(),
+            contention=NoContentionManager(),
+        )
+
+
+def test_environment_sorts_indices():
+    env = Environment(
+        indices=(3, 1, 2),
+        detector=perfect_detector(),
+        contention=NoContentionManager(),
+    )
+    assert env.indices == (1, 2, 3)
+    assert env.n == 3
+
+
+def test_cst_is_max_of_stabilization_rounds():
+    env = Environment(
+        indices=(0, 1),
+        detector=ZERO_OAC.make(r_acc=7),
+        contention=WakeUpService(stabilization_round=3),
+        loss=EventualCollisionFreedom(IIDLoss(0.5), r_cf=5),
+    )
+    assert env.communication_stabilization_time() == 7
+
+
+def test_cst_uses_one_for_always_accurate():
+    env = Environment(
+        indices=(0, 1),
+        detector=ZERO_AC.make(),
+        contention=WakeUpService(stabilization_round=4),
+        loss=ReliableDelivery(),
+    )
+    assert env.communication_stabilization_time() == 4
+
+
+def test_cst_none_when_component_promises_nothing():
+    env = Environment(
+        indices=(0, 1),
+        detector=ZERO_AC.make(),
+        contention=NoContentionManager(),   # no promise
+        loss=ReliableDelivery(),
+    )
+    assert env.communication_stabilization_time() is None
+    env2 = Environment(
+        indices=(0, 1),
+        detector=no_cd_detector(),          # never accurate
+        contention=WakeUpService(1),
+        loss=ReliableDelivery(),
+    )
+    assert env2.communication_stabilization_time() is None
+
+
+# ----------------------------------------------------------------------
+# ECF trace checking
+# ----------------------------------------------------------------------
+def test_satisfies_ecf_over_execution_traces():
+    env = Environment(
+        indices=(0, 1, 2),
+        detector=perfect_detector(),
+        contention=NoContentionManager(),
+        loss=EventualCollisionFreedom(SilenceLoss(), r_cf=2),
+    )
+    algo = Algorithm(
+        lambda i: ScriptedProcess(["m", "m"] if i == 0 else []),
+        anonymous=False,
+    )
+    result = run_algorithm(env, algo, max_rounds=2, until_all_decided=False)
+    trace = result.transmission_trace()
+    received = [entry.received for entry in trace]
+    assert satisfies_ecf(trace, received, r_cf=2)
+    assert not satisfies_ecf(trace, received, r_cf=1)

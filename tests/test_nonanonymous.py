@@ -1,0 +1,151 @@
+"""Tests for the Section 7.3 non-anonymous algorithm."""
+
+import pytest
+
+from repro.adversary.crash import ScheduledCrashes
+from repro.algorithms.nonanonymous import (
+    LeaderElectProcess,
+    non_anonymous_algorithm,
+    termination_bound,
+)
+from repro.algorithms.encoding import BinaryEncoding
+from repro.core.consensus import evaluate, require_solved
+from repro.core.errors import ConfigurationError
+from repro.core.execution import run_consensus
+from repro.experiments.scenarios import zero_oac_environment
+
+
+def test_not_anonymous():
+    algo = non_anonymous_algorithm(list(range(100)), list(range(4)))
+    assert not algo.is_anonymous
+
+
+def test_branch_selection():
+    small_v = non_anonymous_algorithm(["a", "b"], list(range(8)))
+    assert "alg2-on-values" in small_v.name
+    big_v = non_anonymous_algorithm(list(range(100)), list(range(4)))
+    assert "leader-elect" in big_v.name
+
+
+def test_rejects_bad_id_space():
+    with pytest.raises(ConfigurationError):
+        non_anonymous_algorithm(["a"], [])
+    with pytest.raises(ConfigurationError):
+        non_anonymous_algorithm(["a"], [1, 1])
+
+
+def test_process_requires_id_in_space():
+    enc = BinaryEncoding([0, 1, 2, 3])
+    with pytest.raises(ConfigurationError):
+        LeaderElectProcess(9, "v", enc)
+
+
+def test_small_value_space_behaves_like_alg2():
+    values = ["commit", "abort"]
+    ids = list(range(6))
+    env = zero_oac_environment(4, cst=1, indices=ids[:4])
+    assignment = {i: values[i % 2] for i in ids[:4]}
+    result = run_consensus(
+        env, non_anonymous_algorithm(values, ids), assignment,
+        max_rounds=30,
+    )
+    require_solved(result, by_round=termination_bound(1, 2, 6))
+
+
+@pytest.mark.parametrize("id_count", [4, 8, 32])
+def test_leader_elect_branch_terminates_within_bound(id_count):
+    values = list(range(4 * id_count * id_count))   # force |V| > |I|
+    ids = list(range(id_count))
+    n = min(4, id_count)
+    cst = 2
+    env = zero_oac_environment(n, cst=cst, seed=id_count, indices=ids[:n])
+    assignment = {i: values[(i * 17 + 3) % len(values)] for i in ids[:n]}
+    bound = termination_bound(cst, len(values), id_count)
+    result = run_consensus(
+        env, non_anonymous_algorithm(values, ids), assignment,
+        max_rounds=bound + 30,
+    )
+    require_solved(result, by_round=bound)
+
+
+def test_leader_elect_cost_tracks_id_space_not_value_space():
+    """Doubling |V| must NOT grow the leader-elect branch's round count;
+    growing |I| must."""
+    def measure(value_count, id_count):
+        values = list(range(value_count))
+        ids = list(range(id_count))
+        env = zero_oac_environment(4, cst=1, indices=ids[:4])
+        assignment = {i: values[(i * 17 + 3) % value_count] for i in ids[:4]}
+        result = run_consensus(
+            env, non_anonymous_algorithm(values, ids), assignment,
+            max_rounds=500,
+        )
+        return result.last_decision_round()
+
+    small_ids = measure(4096, 4)
+    same_ids_bigger_v = measure(8192, 4)
+    bigger_ids = measure(8192, 64)
+    assert small_ids == same_ids_bigger_v
+    assert bigger_ids > same_ids_bigger_v
+
+
+def test_leader_crash_before_dissemination_triggers_reelection():
+    values = list(range(100))
+    ids = [0, 1, 2]
+    # The first elected leader is the min-ID process (0): crash it right
+    # after the first election concludes, before its value spreads.
+    elect_rounds = 3 * (2 + BinaryEncoding(ids).width)   # one alg2 cycle
+    env = zero_oac_environment(
+        3, cst=1, loss_rate=0.0, indices=ids,
+        crash=ScheduledCrashes.at({elect_rounds: [0]}),
+    )
+    assignment = {0: 5, 1: 40, 2: 77}
+    result = run_consensus(
+        env, non_anonymous_algorithm(values, ids), assignment,
+        max_rounds=400,
+    )
+    report = evaluate(result)
+    assert report.agreement and report.strong_validity
+    # Survivors decided one of the surviving (or the dead) initial values.
+    assert result.decisions[1] is not None
+    assert result.decisions[2] is not None
+
+
+def test_agreement_under_lossy_prelude():
+    values = list(range(64))
+    ids = [0, 1, 2, 3]
+    for seed in range(5):
+        env = zero_oac_environment(
+            4, cst=12, seed=seed, loss_rate=0.5, indices=ids
+        )
+        assignment = {i: values[(i * 9 + seed) % 64] for i in ids}
+        result = run_consensus(
+            env, non_anonymous_algorithm(values, ids), assignment,
+            max_rounds=300,
+        )
+        report = evaluate(result)
+        assert report.agreement, f"seed {seed}: {report.problems}"
+        assert report.strong_validity
+
+
+def test_value_locking_prevents_mixed_decisions_after_leader_crash():
+    """Reproduction note 2: once any process decides v, every later leader
+    re-broadcasts v, so late deciders agree with early ones."""
+    values = list(range(100))
+    ids = [0, 1, 2]
+    # Crash the leader a few triples after dissemination starts: some
+    # processes may have confirmed, others not.
+    for crash_round in range(12, 30, 3):
+        env = zero_oac_environment(
+            3, cst=1, loss_rate=0.0, indices=ids,
+            crash=ScheduledCrashes.at({crash_round: [0]}),
+        )
+        assignment = {0: 5, 1: 40, 2: 77}
+        result = run_consensus(
+            env, non_anonymous_algorithm(values, ids), assignment,
+            max_rounds=400,
+        )
+        report = evaluate(result)
+        assert report.agreement, (
+            f"crash at {crash_round}: {report.problems}"
+        )

@@ -1,0 +1,46 @@
+"""Tests for the top-level package API and the quickstart path."""
+
+import repro
+from repro import evaluate, quick_consensus
+
+
+def test_version_exposed():
+    assert repro.__version__
+
+
+def test_quick_consensus_defaults_solve():
+    result = quick_consensus(values=["commit", "abort"], n=5)
+    report = evaluate(result)
+    assert report.solved
+    assert set(result.decisions.values()) <= {"commit", "abort"}
+    assert len(set(result.decisions.values())) == 1
+
+
+def test_quick_consensus_custom_assignment():
+    result = quick_consensus(
+        values=["a", "b", "c"],
+        n=3,
+        assignment={0: "c", 1: "c", 2: "c"},
+    )
+    assert set(result.decisions.values()) == {"c"}
+
+
+def test_quick_consensus_is_seed_deterministic():
+    a = quick_consensus(values=[1, 2, 3], n=4, seed=5)
+    b = quick_consensus(values=[1, 2, 3], n=4, seed=5)
+    assert a.decisions == b.decisions
+    assert a.rounds == b.rounds
+
+
+def test_public_surface_importable():
+    # The documented import points must exist.
+    from repro.algorithms import (           # noqa: F401
+        algorithm_1, algorithm_2, algorithm_3, non_anonymous_algorithm,
+    )
+    from repro.core import Environment, run_consensus     # noqa: F401
+    from repro.detectors import ALL_CLASSES, get_class    # noqa: F401
+    from repro.contention import WakeUpService            # noqa: F401
+    from repro.adversary import EventualCollisionFreedom  # noqa: F401
+    from repro.lowerbounds import theorem6_witness        # noqa: F401
+    from repro.substrate import Testbed                   # noqa: F401
+    from repro.experiments import REGISTRY                # noqa: F401

@@ -1,0 +1,84 @@
+"""Tests for process automata (Definition 1) and decision bookkeeping."""
+
+import pytest
+
+from repro.core.errors import ModelViolation
+from repro.core.multiset import Multiset
+from repro.core.process import Process, ScriptedProcess, SilentProcess
+from repro.core.types import ACTIVE, NULL, PASSIVE
+
+
+def step(proc, received=(), cd=NULL, cm=ACTIVE):
+    proc.message(cm)
+    proc.transition(Multiset(received), cd, cm)
+    proc._advance_round()
+
+
+def test_silent_process_never_broadcasts_or_decides():
+    p = SilentProcess()
+    assert p.message(ACTIVE) is None
+    assert p.message(PASSIVE) is None
+    step(p)
+    assert not p.has_decided
+    assert p.decision is None
+
+
+def test_scripted_process_follows_script_then_goes_quiet():
+    p = ScriptedProcess(["m1", None, "m2"])
+    assert p.message(ACTIVE) == "m1"
+    step(p)
+    assert p.message(ACTIVE) is None
+    step(p)
+    assert p.message(ACTIVE) == "m2"
+    step(p)
+    assert p.message(ACTIVE) is None
+
+
+def test_scripted_process_records_observations():
+    p = ScriptedProcess([None])
+    step(p, received=["x"], cd=NULL, cm=PASSIVE)
+    assert p.observations == [(Multiset(["x"]), NULL, PASSIVE)]
+
+
+def test_decide_latches_value_and_round():
+    p = SilentProcess()
+    step(p)
+    p.decide("v")
+    assert p.has_decided
+    assert p.decision == "v"
+    # decided during round 2 (one completed round + the in-flight one)
+    assert p.decision_round == 2
+
+
+def test_redecide_same_value_is_idempotent():
+    p = SilentProcess()
+    p.decide("v")
+    p.decide("v")
+    assert p.decision == "v"
+
+
+def test_redecide_different_value_raises():
+    p = SilentProcess()
+    p.decide("v")
+    with pytest.raises(ModelViolation):
+        p.decide("w")
+
+
+def test_halt_flags_process():
+    p = SilentProcess()
+    assert not p.halted
+    p.halt()
+    assert p.halted
+
+
+def test_round_counter_advances():
+    p = SilentProcess()
+    assert p.round == 0
+    step(p)
+    step(p)
+    assert p.round == 2
+
+
+def test_custom_process_must_implement_interface():
+    with pytest.raises(TypeError):
+        Process()  # abstract

@@ -1,0 +1,133 @@
+"""Tests for execution records, traces, and indistinguishability."""
+
+from repro.adversary.loss import PartitionLoss, ReliableDelivery
+from repro.contention.services import LeaderElectionService, NoContentionManager
+from repro.core.algorithm import Algorithm
+from repro.core.environment import Environment
+from repro.core.execution import run_algorithm
+from repro.core.process import ScriptedProcess
+from repro.core.records import indistinguishable
+from repro.detectors.detector import no_cd_detector, perfect_detector
+
+
+def run_scripted(scripts, n, loss=None, rounds=3, cm=None, detector=None):
+    env = Environment(
+        indices=tuple(range(n)),
+        detector=detector or perfect_detector(),
+        contention=cm or NoContentionManager(),
+        loss=loss or ReliableDelivery(),
+    )
+    algo = Algorithm(
+        lambda i: ScriptedProcess(scripts.get(i, [])), anonymous=False
+    )
+    return run_algorithm(env, algo, max_rounds=rounds, until_all_decided=False)
+
+
+def test_transmission_trace_counts():
+    result = run_scripted({0: ["a", None], 1: ["b", "c"]}, n=3, rounds=2)
+    trace = result.transmission_trace()
+    assert trace[0].broadcasters == 2
+    assert trace[0].received == {0: 2, 1: 2, 2: 2}
+    assert trace[1].broadcasters == 1
+    assert trace[0].loss_at(2) == 0
+
+
+def test_broadcast_count_sequence_buckets():
+    result = run_scripted(
+        {0: ["a", None, "x"], 1: ["b", None, None]}, n=2, rounds=3
+    )
+    assert result.broadcast_count_sequence() == ("2+", 0, 1)
+    assert result.broadcast_count_sequence(2) == ("2+", 0)
+
+
+def test_cd_and_cm_traces_have_full_coverage():
+    result = run_scripted({0: ["a"]}, n=2, rounds=1,
+                          cm=LeaderElectionService(1, leader=0))
+    assert set(result.cd_trace()[0]) == {0, 1}
+    assert set(result.cm_trace()[0]) == {0, 1}
+
+
+def test_view_exposes_only_local_observables():
+    result = run_scripted({0: ["a"], 1: ["b"]}, n=2, rounds=1)
+    view = result.view(0)
+    assert len(view) == 1
+    message, received, cd, cm = view[0]
+    assert message == "a"
+    assert set(received.support()) == {"a", "b"}
+
+
+def test_indistinguishability_same_execution():
+    result = run_scripted({0: ["a"]}, n=2, rounds=2)
+    assert indistinguishable(result, result, 0, 2)
+
+
+def test_partitioned_groups_are_indistinguishable_from_solo_runs():
+    """The core mechanism of Theorem 4: under a NoCD detector (always ±),
+    a partitioned run looks exactly like a solo run to each group."""
+    scripts = {0: ["a", "a"], 2: ["b", "b"]}
+    solo_a = run_scripted(
+        {0: ["a", "a"]}, n=2, rounds=2, detector=no_cd_detector()
+    )
+    merged = run_scripted(
+        scripts, n=4,
+        loss=PartitionLoss([(0, 1), (2, 3)]),
+        rounds=2,
+        detector=no_cd_detector(),
+    )
+    for pid in (0, 1):
+        assert indistinguishable(merged, solo_a, pid, 2)
+
+
+def test_partition_is_visible_to_a_perfect_detector():
+    """With full completeness the same partition IS distinguishable —
+    which is exactly why Theorem 4 needs the NoCD hypothesis."""
+    solo_a = run_scripted({0: ["a", "a"]}, n=2, rounds=2)
+    merged = run_scripted(
+        {0: ["a", "a"], 2: ["b", "b"]}, n=4,
+        loss=PartitionLoss([(0, 1), (2, 3)]),
+        rounds=2,
+    )
+    assert not indistinguishable(merged, solo_a, 0, 2)
+
+
+def test_indistinguishability_detects_different_receptions():
+    clean = run_scripted({0: ["a"], 1: ["b"]}, n=2, rounds=1)
+    partitioned = run_scripted(
+        {0: ["a"], 1: ["b"]}, n=2,
+        loss=PartitionLoss([(0,), (1,)]), rounds=1,
+    )
+    assert not indistinguishable(clean, partitioned, 0, 1)
+
+
+def test_indistinguishability_cross_index():
+    """Lemma 20-style comparison of different indices in different runs."""
+    left = run_scripted({0: ["m"]}, n=2, rounds=1)
+    right = run_scripted({2: ["m"]}, n=4, rounds=1)
+    # Process 1 (listener) in `left` sees what process 3 (listener) sees
+    # in `right`: same message, same advice.
+    assert indistinguishable(left, right, 1, 1, pid_b=3)
+
+
+def test_initial_values_participate_in_indistinguishability():
+    from repro.core.records import ExecutionResult
+
+    base = run_scripted({}, n=2, rounds=1)
+    a = ExecutionResult(
+        base.indices, base.records, base.decisions,
+        base.decision_rounds, base.crash_rounds,
+        initial_values={0: "x", 1: "x"},
+    )
+    b = ExecutionResult(
+        base.indices, base.records, base.decisions,
+        base.decision_rounds, base.crash_rounds,
+        initial_values={0: "y", 1: "x"},
+    )
+    assert not indistinguishable(a, b, 0, 1)
+    assert indistinguishable(a, b, 1, 1)
+
+
+def test_decided_values_and_termination_queries():
+    result = run_scripted({}, n=2, rounds=1)
+    assert result.decided_values() == {}
+    assert not result.all_correct_decided()
+    assert result.last_decision_round() is None
