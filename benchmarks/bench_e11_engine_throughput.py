@@ -4,7 +4,9 @@ Not a paper artifact, but the number a downstream user asks first: how
 fast does the simulator turn rounds over, and how does that scale with n?
 The benchmark drives Algorithm 2 under a lossy channel (the representative
 workload) and, separately, the raw engine with scripted processes (the
-upper bound on achievable throughput).
+upper bound on achievable throughput) — the latter across all three
+record policies, since the streaming modes (``SUMMARY``/``NONE``) are the
+engine's high-volume fast path.
 """
 
 import pytest
@@ -16,6 +18,7 @@ from repro.core.algorithm import Algorithm
 from repro.core.environment import Environment
 from repro.core.execution import ExecutionEngine, run_consensus
 from repro.core.process import ScriptedProcess
+from repro.core.records import RecordPolicy
 from repro.detectors.classes import ZERO_AC
 from repro.experiments.scenarios import zero_oac_environment
 
@@ -23,7 +26,7 @@ VALUES = list(range(256))
 ROUNDS = 200
 
 
-def raw_engine_rounds(n: int) -> int:
+def raw_engine_rounds(n: int, policy: RecordPolicy = RecordPolicy.FULL) -> int:
     env = Environment(
         indices=tuple(range(n)),
         detector=ZERO_AC.make(),
@@ -34,14 +37,20 @@ def raw_engine_rounds(n: int) -> int:
     algo = Algorithm(
         lambda i: ScriptedProcess(["m"] * ROUNDS), anonymous=False
     )
-    engine = ExecutionEngine(env, algo.spawn_all(env.indices))
+    engine = ExecutionEngine(
+        env, algo.spawn_all(env.indices), record_policy=policy
+    )
     engine.run(ROUNDS, until_all_decided=False)
     return engine.round
 
 
 @pytest.mark.parametrize("n", [4, 16, 64])
-def test_e11_raw_engine_throughput(benchmark, n):
-    completed = benchmark(raw_engine_rounds, n)
+@pytest.mark.parametrize(
+    "policy", [RecordPolicy.FULL, RecordPolicy.SUMMARY, RecordPolicy.NONE],
+    ids=lambda p: p.value,
+)
+def test_e11_raw_engine_throughput(benchmark, n, policy):
+    completed = benchmark(raw_engine_rounds, n, policy)
     assert completed == ROUNDS
 
 
@@ -52,6 +61,20 @@ def test_e11_alg2_end_to_end_throughput(benchmark, n):
         assignment = {i: VALUES[(i * 31) % 256] for i in range(n)}
         return run_consensus(
             env, algorithm_2(VALUES), assignment, max_rounds=100
+        )
+
+    result = benchmark(run)
+    assert result.all_correct_decided()
+
+
+@pytest.mark.parametrize("n", [16])
+def test_e11_alg2_summary_mode_throughput(benchmark, n):
+    def run():
+        env = zero_oac_environment(n, cst=5, seed=1)
+        assignment = {i: VALUES[(i * 31) % 256] for i in range(n)}
+        return run_consensus(
+            env, algorithm_2(VALUES), assignment, max_rounds=100,
+            record_policy=RecordPolicy.SUMMARY,
         )
 
     result = benchmark(run)

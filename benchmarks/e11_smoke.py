@@ -1,0 +1,92 @@
+"""Quick-mode E11 smoke benchmark: engine rounds/sec per record policy.
+
+Writes a small JSON artifact (default ``BENCH_e11.json``) so CI can track
+the engine's throughput trajectory from PR to PR without the full
+pytest-benchmark machinery.  Usage::
+
+    PYTHONPATH=src python benchmarks/e11_smoke.py --quick --out BENCH_e11.json
+
+``--quick`` shrinks repetitions for CI; omit it for steadier numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+
+from repro.adversary.loss import IIDLoss
+from repro.contention.services import NoContentionManager
+from repro.core.algorithm import Algorithm
+from repro.core.environment import Environment
+from repro.core.execution import ExecutionEngine
+from repro.core.process import ScriptedProcess
+from repro.core.records import RecordPolicy
+from repro.detectors.classes import ZERO_AC
+
+
+def run_rounds(n: int, rounds: int, policy: RecordPolicy) -> float:
+    """One timed raw-engine execution; returns elapsed seconds."""
+    env = Environment(
+        indices=tuple(range(n)),
+        detector=ZERO_AC.make(),
+        contention=NoContentionManager(),
+        loss=IIDLoss(0.3, seed=0),
+    )
+    env.reset()
+    algo = Algorithm(
+        lambda i: ScriptedProcess(["m"] * rounds), anonymous=False
+    )
+    engine = ExecutionEngine(
+        env, algo.spawn_all(env.indices), record_policy=policy
+    )
+    start = time.perf_counter()
+    engine.run(rounds, until_all_decided=False)
+    elapsed = time.perf_counter() - start
+    assert engine.round == rounds
+    return elapsed
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_e11.json")
+    parser.add_argument("--n", type=int, default=64)
+    parser.add_argument("--rounds", type=int, default=200)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="fewer repetitions (CI smoke mode)",
+    )
+    args = parser.parse_args()
+
+    reps = 3 if args.quick else 7
+    report = {
+        "benchmark": "e11_engine_throughput_smoke",
+        "n": args.n,
+        "rounds": args.rounds,
+        "repetitions": reps,
+        "python": platform.python_version(),
+        "results": {},
+    }
+    for policy in (RecordPolicy.FULL, RecordPolicy.SUMMARY, RecordPolicy.NONE):
+        timings = [run_rounds(args.n, args.rounds, policy) for _ in range(reps)]
+        best = min(timings)
+        report["results"][policy.value] = {
+            "best_seconds": best,
+            "rounds_per_second": args.rounds / best,
+        }
+        print(
+            f"{policy.value:8s} best {best * 1000:8.1f} ms   "
+            f"{args.rounds / best:8.0f} rounds/s"
+        )
+
+    full = report["results"]["full"]["rounds_per_second"]
+    summary = report["results"]["summary"]["rounds_per_second"]
+    report["summary_over_full"] = summary / full
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

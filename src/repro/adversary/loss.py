@@ -121,9 +121,11 @@ class IIDLoss(LossAdversary):
         senders: Sequence[ProcessId],
         receiver: ProcessId,
     ) -> AbstractSet[ProcessId]:
-        return {
-            s for s in senders if s != receiver and self._rng.random() < self.p
-        }
+        # Hot path: one RNG draw per (sender, receiver) pair per round.
+        # Locals avoid re-resolving the attributes on every iteration.
+        rand = self._rng.random
+        p = self.p
+        return {s for s in senders if s != receiver and rand() < p}
 
     def reset(self) -> None:
         self._rng = random.Random(self.seed)

@@ -9,9 +9,28 @@ can run end-to-end without a magic oracle:
 * after a round in which two or more processes were active (observed via
   the channel-feedback hook), each active process halves its probability;
 * after a silent round every process doubles its probability (capped at 1);
-* once a round has exactly one active process, that process is locked in
+* once a round advised exactly one active process *and* exactly one
+  broadcast was actually heard on the channel, that process is locked in
   as the leader (giving leader-election-style stability thereafter, unless
   it crashes — the engine re-opens contention if the leader disappears).
+
+Lock-in is confirmed in :meth:`~BackoffContentionManager.observe`, not at
+advice time: a sole active process that crashes *before send* never
+broadcasts, so (assuming processes follow the manager's advice) the
+channel stays silent that round and no leader is locked — advice-time
+lock-in would anoint a dead leader unconditionally.
+
+Channel feedback is a *count*, not an identity, so the confirmation is a
+heuristic with two residual windows: (a) a process that broadcasts its
+confirming solo message and then crashes *after send* the same round is
+locked in; the next :meth:`~BackoffContentionManager.advise` call heals
+this (the leader is absent from the live set, so contention reopens),
+and end-of-run consumers should treat a crashed locked-in leader as no
+leader (see :class:`repro.substrate.device.Testbed`).  (b) Under
+algorithms that ignore CM advice (Algorithm 3 does), a passive process
+may supply the round's single broadcast, confirming a silent candidate.
+Both are strictly narrower than the advice-time lock-in they replace,
+which required no broadcast at all.
 
 The manager is randomized but fully seeded, so executions replay.  It makes
 a *probabilistic* liveness promise only — exactly the safety/liveness
@@ -70,13 +89,17 @@ class BackoffContentionManager(ContentionManager):
             # Guarantee progress: promote one uniformly random process.
             active = [self._rng.choice(sorted(live))]
         self._last_active = tuple(active)
-        if len(active) == 1:
-            self._leader = active[0]
-            self._stabilized_at = round_index
         return {i: ACTIVE if i in set(active) else PASSIVE for i in live}
 
     def observe(self, round_index: int, broadcast_count: int) -> None:
         if self._leader is not None:
+            return
+        if broadcast_count == 1 and len(self._last_active) == 1:
+            # Lock-in only once the channel confirms the sole active
+            # process actually broadcast: a candidate that crashed before
+            # send leaves the round silent and stays unlocked.
+            self._leader = self._last_active[0]
+            self._stabilized_at = round_index
             return
         if broadcast_count >= 2:
             for i in self._last_active:

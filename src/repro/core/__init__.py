@@ -38,7 +38,9 @@ from .multiset import Multiset, multiset_union
 from .process import Process, ScriptedProcess, SilentProcess
 from .records import (
     ExecutionResult,
+    RecordPolicy,
     RoundRecord,
+    RoundSummary,
     TransmissionEntry,
     indistinguishable,
 )
@@ -63,8 +65,8 @@ __all__ = [
     "Algorithm", "ConsensusAlgorithm",
     "Environment",
     "ExecutionEngine", "run_algorithm", "run_consensus",
-    "ExecutionResult", "RoundRecord", "TransmissionEntry",
-    "indistinguishable",
+    "ExecutionResult", "RecordPolicy", "RoundRecord", "RoundSummary",
+    "TransmissionEntry", "indistinguishable",
     "ConsensusReport", "evaluate",
     "check_agreement", "check_strong_validity", "check_uniform_validity",
     "check_termination",

@@ -91,8 +91,17 @@ def check_uniform_validity(result: ExecutionResult) -> bool:
 def check_termination(
     result: ExecutionResult, by_round: Optional[int] = None
 ) -> bool:
-    """Every correct process decided; with ``by_round``, no later than it."""
-    for pid in result.correct_indices():
+    """Every correct process decided; with ``by_round``, no later than it.
+
+    Deliberately **not** vacuous: when every process crashed this returns
+    False rather than declaring a run with zero correct processes
+    terminated (mirroring ``ExecutionResult.all_correct_decided``; check
+    ``result.no_correct_processes`` to distinguish the outcomes).
+    """
+    correct = result.correct_indices()
+    if not correct:
+        return False
+    for pid in correct:
         decided_at = result.decision_rounds.get(pid)
         if decided_at is None:
             return False
@@ -126,7 +135,11 @@ def evaluate(
             for pid in result.correct_indices()
             if result.decision_rounds.get(pid) is None
         ]
-        if undecided:
+        if result.no_correct_processes:
+            problems.append(
+                "termination violated: no correct processes (all crashed)"
+            )
+        elif undecided:
             problems.append(f"termination violated: {undecided} never decided")
         else:
             problems.append(

@@ -14,27 +14,48 @@ One engine round performs, in order:
 5. the collision detector, seeing only the counts ``(c, T)`` exactly as
    Definition 6 prescribes, issues per-process advice;
 6. surviving processes transition on ``(N_r[i], D_r[i], W_r[i])``;
-7. the round is recorded.
+7. the round is recorded according to the engine's
+   :class:`~repro.core.records.RecordPolicy`.
 
 The engine validates constraints 4 and 5 as it goes and raises
 :class:`~repro.core.errors.ModelViolation` on any breach, so a buggy
 adversary cannot silently produce an illegal execution.
+
+Record policies
+---------------
+
+The engine runs the *same* execution under every policy — seeded
+adversaries consume randomness identically, so decisions and decision
+rounds match round for round — but retains different amounts of it:
+
+* ``RecordPolicy.FULL`` (default) keeps every :class:`RoundRecord`; this
+  is what the trace validators and lower-bound replays need.
+* ``RecordPolicy.SUMMARY`` keeps one :class:`RoundSummary` per round and
+  skips building receive multisets for processes that will not transition
+  (crashed or halted ones), cutting both memory and time.
+* ``RecordPolicy.NONE`` retains nothing per round — the fastest mode,
+  built for the high-volume sweeps the experiment harness fans out.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, Optional
+from typing import Callable, Dict, List, Mapping, Optional, Union
 
 from ..core.errors import ConfigurationError, ModelViolation
 from .algorithm import Algorithm, ConsensusAlgorithm
 from .environment import Environment
 from .multiset import Multiset
-from .process import Process
-from .records import ExecutionResult, RoundRecord
+from .process import Process, _UNDECIDED
+from .records import ExecutionResult, RecordPolicy, RoundRecord, RoundSummary
 from .types import CollisionAdvice, ContentionAdvice, Message, ProcessId, Value
 
-#: Optional per-round observer, called after each recorded round.
-RoundObserver = Callable[[RoundRecord], None]
+#: What one ``step()`` returns: a full record, or a summary in the
+#: streaming modes.
+RoundArtifact = Union[RoundRecord, RoundSummary]
+
+#: Optional per-round observer, called after each round with that round's
+#: artifact (a ``RoundRecord`` under FULL, a ``RoundSummary`` otherwise).
+RoundObserver = Callable[[RoundArtifact], None]
 
 
 class ExecutionEngine:
@@ -43,6 +64,10 @@ class ExecutionEngine:
     The engine owns the fail state: a crashed process is never stepped
     again, which is observationally identical to the paper's absorbing
     ``fail_A``.
+
+    ``record_policy`` selects how much per-round state is retained; see
+    the module docstring.  The executed rounds are identical across
+    policies for the same seeded environment.
     """
 
     def __init__(
@@ -50,6 +75,7 @@ class ExecutionEngine:
         environment: Environment,
         processes: Mapping[ProcessId, Process],
         initial_values: Optional[Mapping[ProcessId, Value]] = None,
+        record_policy: RecordPolicy = RecordPolicy.FULL,
     ) -> None:
         if set(processes) != set(environment.indices):
             raise ConfigurationError(
@@ -58,9 +84,14 @@ class ExecutionEngine:
         self.environment = environment
         self.processes = dict(processes)
         self.initial_values = dict(initial_values) if initial_values else None
+        self.record_policy = record_policy
         self._records: List[RoundRecord] = []
+        self._summaries: List[RoundSummary] = []
         self._crashed: Dict[ProcessId, int] = {}
         self._round = 0
+        # Cached live-index list, updated only when crashes commit; the
+        # hot path must not rebuild it every round.
+        self._live: List[ProcessId] = list(environment.indices)
 
     # ------------------------------------------------------------------
     @property
@@ -70,23 +101,25 @@ class ExecutionEngine:
 
     def live_indices(self) -> List[ProcessId]:
         """Indices of processes that have not crashed."""
-        return [i for i in self.environment.indices if i not in self._crashed]
+        return list(self._live)
 
     # ------------------------------------------------------------------
-    def step(self) -> RoundRecord:
-        """Execute one synchronous round and return its record."""
+    def step(self) -> RoundArtifact:
+        """Execute one synchronous round and return its artifact."""
         env = self.environment
         indices = env.indices
+        crashed = self._crashed
         self._round += 1
         r = self._round
+        full = self.record_policy is RecordPolicy.FULL
 
         # (1) Crashes for this round.
-        live_before = self.live_indices()
+        live_before = self._live
         events = env.crash.crashes(r, live_before)
         crash_after_send = set()
         crash_before_send = set()
         for ev in events:
-            if ev.pid in self._crashed:
+            if ev.pid in crashed:
                 continue
             if ev.after_send:
                 crash_after_send.add(ev.pid)
@@ -97,91 +130,181 @@ class ExecutionEngine:
         # a practical manager schedules among nodes it can still hear, so
         # the engine consults it over the live set and pads crashed
         # processes with PASSIVE (their advice is never acted on).
-        cm_advice = dict(env.contention.advise(r, live_before))
-        missing = set(live_before) - set(cm_advice)
-        if missing:
+        cm_advice = env.contention.advise(r, live_before)
+        if full or crashed:
+            # Copy before padding: FULL mode retains the map in the round
+            # record, and crashed processes need PASSIVE filler — never
+            # mutate the manager's own dict.  The streaming no-crash path
+            # uses the manager's map as-is.
+            cm_advice = dict(cm_advice)
+        if any(pid not in cm_advice for pid in live_before):
+            missing = set(live_before) - set(cm_advice)
             raise ModelViolation(
                 f"contention manager omitted advice for {sorted(missing)}"
             )
-        for pid in indices:
+        for pid in crashed:
             if pid not in cm_advice:
                 cm_advice[pid] = ContentionAdvice.PASSIVE
 
-        # (3) Message generation.
+        # (3) Message generation.  ``inactive`` collects every process that
+        # will not transition this round (already crashed, crashing now,
+        # or halted) so the receive loop can decide multiset need with a
+        # single membership test.
+        processes = self.processes
         messages: Dict[ProcessId, Optional[Message]] = {}
+        senders: List[ProcessId] = []
+        inactive = set(crash_after_send)
+        halted_live: List[ProcessId] = []
         for pid in indices:
-            proc = self.processes[pid]
-            silent = (
-                pid in self._crashed
-                or pid in crash_before_send
-                or proc.halted
-            )
-            messages[pid] = None if silent else proc.message(cm_advice[pid])
-        senders = [pid for pid in indices if messages[pid] is not None]
+            if pid in crashed or pid in crash_before_send:
+                messages[pid] = None
+                inactive.add(pid)
+                continue
+            proc = processes[pid]
+            if proc._halted:
+                messages[pid] = None
+                inactive.add(pid)
+                if pid not in crash_after_send:
+                    halted_live.append(pid)
+                continue
+            m = proc.message(cm_advice[pid])
+            messages[pid] = m
+            if m is not None:
+                senders.append(pid)
 
-        # (4) Loss resolution and receive multisets.
+        # (4) Loss resolution and receive multisets.  The round's full
+        # broadcast multiset is built once; each receiver's multiset is
+        # derived by decrementing its (typically small) lost set rather
+        # than rescanning every sender, and loss-free receivers share the
+        # full multiset outright (Multiset is immutable, so sharing is
+        # safe).  The fast path additionally skips multiset construction
+        # for processes that will not transition — the detector only ever
+        # needs the counts (Definition 6).
+        losses = env.loss.losses
+        counts: Dict[ProcessId, int] = {}
         received: Dict[ProcessId, Multiset] = {}
+        base_counts: Dict[Message, int] = {}
+        sender_set = set(senders)
+        for s in senders:
+            m = messages[s]
+            base_counts[m] = base_counts.get(m, 0) + 1
+        total = len(senders)
+        full_round_ms = Multiset._from_counts_unchecked(base_counts, total)
         for pid in indices:
-            lost = set(env.loss.losses(r, list(senders), pid))
-            kept = [
-                messages[s]
-                for s in senders
-                if s == pid or s not in lost
-            ]
-            ms = Multiset(kept)
-            if messages[pid] is not None and messages[pid] not in ms:
-                raise ModelViolation(
-                    f"broadcaster {pid} failed to receive its own message"
-                )
-            received[pid] = ms
+            lost = losses(r, senders, pid)
+            if type(lost) is not set and not isinstance(lost, frozenset):
+                # The decrement loop below assumes no duplicates; coerce
+                # annotation-violating adversaries (e.g. a ScriptedLoss
+                # callback returning a list) instead of silently
+                # double-counting their repeats.
+                lost = set(lost)
+            needs_multiset = full or pid not in inactive
+            if lost:
+                if len(base_counts) == 1:
+                    # Single distinct message this round (the common case
+                    # for value-echo protocol phases): count survivors
+                    # without per-loss dict surgery.
+                    kept = total
+                    for s in lost:
+                        if s != pid and s in sender_set:
+                            kept -= 1
+                    counts[pid] = kept
+                    if needs_multiset:
+                        (only,) = base_counts
+                        ms = Multiset._from_counts_unchecked(
+                            {only: kept} if kept else {}, kept
+                        )
+                        if messages[pid] is not None and kept == 0:
+                            raise ModelViolation(
+                                f"broadcaster {pid} failed to receive its "
+                                "own message"
+                            )
+                        received[pid] = ms
+                    continue
+                cnt = dict(base_counts)
+                kept = total
+                for s in lost:
+                    if s == pid or s not in sender_set:
+                        # Self-delivery is unconditional; non-broadcasters
+                        # have nothing to lose.
+                        continue
+                    m = messages[s]
+                    left = cnt[m] - 1
+                    if left:
+                        cnt[m] = left
+                    else:
+                        del cnt[m]
+                    kept -= 1
+                counts[pid] = kept
+                if needs_multiset:
+                    ms = Multiset._from_counts_unchecked(cnt, kept)
+                    if messages[pid] is not None and messages[pid] not in ms:
+                        raise ModelViolation(
+                            f"broadcaster {pid} failed to receive its own "
+                            "message"
+                        )
+                    received[pid] = ms
+            else:
+                counts[pid] = total
+                if needs_multiset:
+                    received[pid] = full_round_ms
 
         # (5) Collision-detector advice from counts only.
-        counts = {pid: len(received[pid]) for pid in indices}
-        cd_advice = dict(
-            env.detector.advise(r, len(senders), counts)
-        )
-        missing = set(indices) - set(cd_advice)
-        if missing:
+        cd_advice = dict(env.detector.advise(r, len(senders), counts))
+        if any(pid not in cd_advice for pid in indices):
+            missing = set(indices) - set(cd_advice)
             raise ModelViolation(
                 f"collision detector omitted advice for {sorted(missing)}"
             )
 
-        # (6) Transitions for surviving processes.
+        # (6) Transitions for surviving processes.  Halted-but-live
+        # processes only advance their round counter; ``inactive`` holds
+        # exactly the halted and the (newly or previously) crashed.
         decided_during: Dict[ProcessId, Value] = {}
+        for pid in halted_live:
+            processes[pid]._advance_round()
         for pid in indices:
-            proc = self.processes[pid]
-            if (
-                pid in self._crashed
-                or pid in crash_before_send
-                or pid in crash_after_send
-            ):
+            if pid in inactive:
                 continue
-            if proc.halted:
-                proc._advance_round()
-                continue
-            already_decided = proc.has_decided
+            proc = processes[pid]
+            # Direct slot reads instead of the has_decided/decision
+            # properties: this loop runs once per live process per round.
+            already_decided = proc._decision is not _UNDECIDED
             proc.transition(received[pid], cd_advice[pid], cm_advice[pid])
             proc._advance_round()
-            if proc.has_decided and not already_decided:
-                decided_during[pid] = proc.decision
+            if not already_decided and proc._decision is not _UNDECIDED:
+                decided_during[pid] = proc._decision
 
-        # Commit crashes.
-        for pid in crash_before_send | crash_after_send:
-            self._crashed[pid] = r
+        # Commit crashes and refresh the cached live list.
+        newly_crashed = crash_before_send | crash_after_send
+        if newly_crashed:
+            for pid in newly_crashed:
+                crashed[pid] = r
+            self._live = [i for i in self._live if i not in newly_crashed]
 
         # (7) Channel feedback and bookkeeping.
         env.contention.observe(r, len(senders))
-        record = RoundRecord(
+        if full:
+            record = RoundRecord(
+                round=r,
+                cm_advice=cm_advice,
+                messages=messages,
+                received=received,
+                cd_advice=cd_advice,
+                crashed_during=frozenset(newly_crashed),
+                decided_during=decided_during,
+            )
+            self._records.append(record)
+            return record
+        summary = RoundSummary(
             round=r,
-            cm_advice=cm_advice,
-            messages=messages,
-            received=received,
-            cd_advice=cd_advice,
-            crashed_during=frozenset(crash_before_send | crash_after_send),
+            broadcast_count=len(senders),
+            crashed_during=frozenset(newly_crashed),
             decided_during=decided_during,
         )
-        self._records.append(record)
-        return record
+        if self.record_policy is RecordPolicy.SUMMARY:
+            self._summaries.append(summary)
+        return summary
 
     # ------------------------------------------------------------------
     def run(
@@ -196,6 +319,12 @@ class ExecutionEngine:
         every correct (non-crashed) process has decided — the natural stop
         condition for consensus experiments.  Lower-bound replays disable
         it to force a full fixed-length prefix.
+
+        If *every* process crashes, the run does not report vacuous
+        success: it stops (no further state can change — every process is
+        in the absorbing fail state) and the result flags the outcome via
+        :attr:`ExecutionResult.no_correct_processes`, with
+        ``all_correct_decided()`` False.
         """
         if max_rounds < 0:
             raise ConfigurationError("max_rounds must be >= 0")
@@ -203,13 +332,24 @@ class ExecutionEngine:
             record = self.step()
             if observer is not None:
                 observer(record)
-            if until_all_decided and self._all_correct_decided():
-                break
+            if until_all_decided:
+                if not self._live:
+                    # All crashed: nothing further can happen; the result
+                    # carries the no-correct-process flag instead of a
+                    # vacuous "everyone decided".
+                    break
+                if self._all_correct_decided():
+                    break
         return self.result()
 
     def _all_correct_decided(self) -> bool:
+        """Every live process decided — False (not vacuous) when none live."""
+        live = self._live
+        if not live:
+            return False
+        processes = self.processes
         return all(
-            self.processes[pid].has_decided for pid in self.live_indices()
+            processes[pid]._decision is not _UNDECIDED for pid in live
         )
 
     def result(self) -> ExecutionResult:
@@ -232,6 +372,9 @@ class ExecutionEngine:
             crash_rounds=crash_rounds,
             initial_values=self.initial_values,
             cst=env.communication_stabilization_time(),
+            record_policy=self.record_policy,
+            summaries=list(self._summaries),
+            rounds=self._round,
         )
 
 
@@ -243,11 +386,14 @@ def run_algorithm(
     algorithm: Algorithm,
     max_rounds: int,
     until_all_decided: bool = True,
+    record_policy: RecordPolicy = RecordPolicy.FULL,
 ) -> ExecutionResult:
     """Instantiate ``algorithm`` over the environment's indices and run."""
     environment.reset()
     processes = algorithm.spawn_all(environment.indices)
-    engine = ExecutionEngine(environment, processes)
+    engine = ExecutionEngine(
+        environment, processes, record_policy=record_policy
+    )
     return engine.run(max_rounds, until_all_decided=until_all_decided)
 
 
@@ -257,6 +403,7 @@ def run_consensus(
     initial_values: Mapping[ProcessId, Value],
     max_rounds: int,
     until_all_decided: bool = True,
+    record_policy: RecordPolicy = RecordPolicy.FULL,
 ) -> ExecutionResult:
     """Run a consensus algorithm with the given initial-value assignment."""
     if set(initial_values) != set(environment.indices):
@@ -265,5 +412,7 @@ def run_consensus(
         )
     environment.reset()
     processes = algorithm.instantiate(initial_values)
-    engine = ExecutionEngine(environment, processes, initial_values)
+    engine = ExecutionEngine(
+        environment, processes, initial_values, record_policy=record_policy
+    )
     return engine.run(max_rounds, until_all_decided=until_all_decided)

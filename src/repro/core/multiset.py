@@ -18,7 +18,7 @@ and test assertions.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Dict, FrozenSet, Iterable, Iterator, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
 
 
 class Multiset:
@@ -36,21 +36,50 @@ class Multiset:
         # Normalise away zero counts so equality is canonical.
         self._counts: Dict[Any, int] = {v: n for v, n in counts.items() if n > 0}
         self._size = sum(self._counts.values())
-        self._hash = hash(frozenset(self._counts.items()))
+        # Hashing is deferred: the engine's hot path builds one multiset
+        # per (process, round) and most are never used as dict keys.
+        self._hash: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
     @classmethod
     def from_counts(cls, counts: Dict[Any, int]) -> "Multiset":
-        """Build a multiset from a ``{value: multiplicity}`` mapping."""
+        """Build a multiset from a ``{value: multiplicity}`` mapping.
+
+        Multiplicities must be non-negative ``int``s; zero counts are
+        dropped, anything else (floats, bools, strings) is rejected.
+        """
+        clean: Dict[Any, int] = {}
+        size = 0
         for value, n in counts.items():
+            if isinstance(n, bool) or not isinstance(n, int):
+                raise TypeError(
+                    f"multiplicity for {value!r} must be an int, "
+                    f"got {type(n).__name__}"
+                )
             if n < 0:
                 raise ValueError(f"negative multiplicity for {value!r}: {n}")
-        ms = cls()
-        ms._counts = {v: n for v, n in counts.items() if n > 0}
-        ms._size = sum(ms._counts.values())
-        ms._hash = hash(frozenset(ms._counts.items()))
+            if n:
+                clean[value] = n
+                size += n
+        return cls._from_counts_unchecked(clean, size)
+
+    @classmethod
+    def _from_counts_unchecked(
+        cls, counts: Dict[Any, int], size: int
+    ) -> "Multiset":
+        """Adopt ``counts`` without copying or validating.
+
+        Internal fast constructor: callers guarantee strictly positive int
+        multiplicities summing to ``size`` and relinquish ownership of the
+        dict.  Used by the engine's hot path and the operator methods,
+        where the invariants hold by construction.
+        """
+        ms = cls.__new__(cls)
+        ms._counts = counts
+        ms._size = size
+        ms._hash = None
         return ms
 
     @classmethod
@@ -127,7 +156,9 @@ class Multiset:
             return NotImplemented
         merged = Counter(self._counts)
         merged.update(other._counts)
-        return Multiset.from_counts(dict(merged))
+        return Multiset._from_counts_unchecked(
+            dict(merged), self._size + other._size
+        )
 
     def __sub__(self, other: "Multiset") -> "Multiset":
         """Multiset difference, truncating at zero."""
@@ -135,7 +166,8 @@ class Multiset:
             return NotImplemented
         result = Counter(self._counts)
         result.subtract(other._counts)
-        return Multiset.from_counts({v: n for v, n in result.items() if n > 0})
+        clean = {v: n for v, n in result.items() if n > 0}
+        return Multiset._from_counts_unchecked(clean, sum(clean.values()))
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Multiset):
@@ -143,7 +175,10 @@ class Multiset:
         return self._counts == other._counts
 
     def __hash__(self) -> int:
-        return self._hash
+        h = self._hash
+        if h is None:
+            h = self._hash = hash(frozenset(self._counts.items()))
+        return h
 
     def __repr__(self) -> str:
         inner = ", ".join(
@@ -160,6 +195,8 @@ _EMPTY = Multiset()
 def multiset_union(multisets: Iterable[Multiset]) -> Multiset:
     """Union (additive) of an iterable of multisets."""
     merged: Counter = Counter()
+    size = 0
     for ms in multisets:
-        merged.update(ms.counts())
-    return Multiset.from_counts(dict(merged))
+        merged.update(ms._counts)
+        size += ms._size
+    return Multiset._from_counts_unchecked(dict(merged), size)

@@ -23,10 +23,44 @@ lower bounds, and observable *indistinguishability* between two executions
 from __future__ import annotations
 
 import dataclasses
+import enum
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
+from .errors import ConfigurationError
 from .multiset import Multiset
 from .types import CollisionAdvice, ContentionAdvice, Message, ProcessId, Value
+
+
+class RecordPolicy(enum.Enum):
+    """How much per-round state an execution retains.
+
+    * ``FULL``    — keep every :class:`RoundRecord` (multisets, advice maps);
+      required by the trace validators, lower-bound replays, and
+      ``indistinguishable``.  Memory is O(rounds × n).
+    * ``SUMMARY`` — keep one small :class:`RoundSummary` per round
+      (broadcast count, decisions, crashes); enough for consensus checking
+      and the broadcast-count sequence.  Memory is O(rounds).
+    * ``NONE``    — keep nothing per round; only the final per-process
+      outcomes survive.  The fastest mode, for high-volume sweeps.
+
+    Decisions, decision rounds, and crash rounds are identical across
+    policies for the same seeded execution — the policy changes what is
+    *retained*, never what *happens*.
+    """
+
+    FULL = "full"
+    SUMMARY = "summary"
+    NONE = "none"
+
+
+@dataclasses.dataclass(frozen=True)
+class RoundSummary:
+    """Streaming per-round aggregate kept under ``RecordPolicy.SUMMARY``."""
+
+    round: int
+    broadcast_count: int
+    crashed_during: FrozenSet[ProcessId]
+    decided_during: Mapping[ProcessId, Value]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -84,6 +118,15 @@ class ExecutionResult:
     The result is the primary object consumed by the consensus checker, the
     trace validators, the lower-bound machinery, and the experiment
     harness.
+
+    Under ``RecordPolicy.SUMMARY`` or ``NONE`` no per-round records are
+    retained: final outcomes (decisions, decision rounds, crash rounds)
+    are always present, but ``records`` itself and the trace accessors
+    (``transmission_trace``, ``cd_trace``, ``cm_trace``, ``view``)
+    require ``FULL`` and raise
+    :class:`~repro.core.errors.ConfigurationError` otherwise — a trace
+    validator handed a streaming result must fail loudly, never pass
+    vacuously over zero rounds.
     """
 
     def __init__(
@@ -95,14 +138,20 @@ class ExecutionResult:
         crash_rounds: Mapping[ProcessId, Optional[int]],
         initial_values: Optional[Mapping[ProcessId, Value]] = None,
         cst: Optional[int] = None,
+        record_policy: RecordPolicy = RecordPolicy.FULL,
+        summaries: Optional[List[RoundSummary]] = None,
+        rounds: Optional[int] = None,
     ) -> None:
         self.indices: Tuple[ProcessId, ...] = tuple(sorted(indices))
-        self.records = records
+        self._records = records
         self.decisions = dict(decisions)
         self.decision_rounds = dict(decision_rounds)
         self.crash_rounds = dict(crash_rounds)
         self.initial_values = dict(initial_values) if initial_values else None
         self.cst = cst
+        self.record_policy = record_policy
+        self.summaries: List[RoundSummary] = summaries or []
+        self._rounds = len(records) if rounds is None else rounds
 
     # ------------------------------------------------------------------
     # Basic queries
@@ -110,7 +159,26 @@ class ExecutionResult:
     @property
     def rounds(self) -> int:
         """Number of simulated rounds."""
-        return len(self.records)
+        return self._rounds
+
+    @property
+    def records(self) -> List[RoundRecord]:
+        """The retained :class:`RoundRecord` list (``FULL`` policy only).
+
+        Raises under ``SUMMARY``/``NONE`` rather than returning an empty
+        list, so code iterating records can never silently conclude
+        "nothing happened" about an execution that simply wasn't
+        recorded.
+        """
+        self._require_full("records")
+        return self._records
+
+    def _require_full(self, what: str) -> None:
+        if self.record_policy is not RecordPolicy.FULL:
+            raise ConfigurationError(
+                f"{what} requires RecordPolicy.FULL; this execution ran "
+                f"with RecordPolicy.{self.record_policy.name}"
+            )
 
     def correct_indices(self) -> Tuple[ProcessId, ...]:
         """Indices of processes that never crashed (Definition 13)."""
@@ -128,10 +196,22 @@ class ExecutionResult:
         """Map of process index to decided value, decided processes only."""
         return {i: v for i, v in self.decisions.items() if v is not None}
 
+    @property
+    def no_correct_processes(self) -> bool:
+        """True when every process crashed — the degenerate outcome in
+        which the consensus properties hold only vacuously."""
+        return not self.correct_indices()
+
     def all_correct_decided(self) -> bool:
-        """True when every correct process has decided."""
-        return all(
-            self.decisions.get(i) is not None for i in self.correct_indices()
+        """True when every correct process has decided.
+
+        Deliberately **not** vacuous: when every process crashed this
+        returns False (check :attr:`no_correct_processes` to distinguish
+        the all-crashed outcome from a genuine termination failure).
+        """
+        correct = self.correct_indices()
+        return bool(correct) and all(
+            self.decisions.get(i) is not None for i in correct
         )
 
     def last_decision_round(self) -> Optional[int]:
@@ -146,30 +226,39 @@ class ExecutionResult:
     # ------------------------------------------------------------------
     def transmission_trace(self) -> List[TransmissionEntry]:
         """The execution's transmission trace (Definition 4 prefix)."""
+        self._require_full("transmission_trace")
         return [rec.transmission_entry() for rec in self.records]
 
     def cd_trace(self) -> List[Mapping[ProcessId, CollisionAdvice]]:
         """The execution's CD trace (Definition 5 prefix)."""
+        self._require_full("cd_trace")
         return [rec.cd_advice for rec in self.records]
 
     def cm_trace(self) -> List[Mapping[ProcessId, ContentionAdvice]]:
         """The execution's CM trace (Definition 7 prefix)."""
+        self._require_full("cm_trace")
         return [rec.cm_advice for rec in self.records]
 
     def broadcast_count_sequence(self, through_round: Optional[int] = None):
         """Basic broadcast count sequence (Definition 22).
 
         Each round maps to ``0``, ``1``, or ``'2+'`` according to how many
-        processes broadcast.
+        processes broadcast.  Available under ``FULL`` and ``SUMMARY``
+        record policies (the summary retains broadcast counts).
         """
         upto = self.rounds if through_round is None else min(
             through_round, self.rounds
         )
-        sequence = []
-        for rec in self.records[:upto]:
-            c = rec.broadcast_count
-            sequence.append(c if c < 2 else "2+")
-        return tuple(sequence)
+        if self.record_policy is RecordPolicy.FULL:
+            counts = (rec.broadcast_count for rec in self.records[:upto])
+        elif self.record_policy is RecordPolicy.SUMMARY:
+            counts = (s.broadcast_count for s in self.summaries[:upto])
+        else:
+            raise ConfigurationError(
+                "broadcast_count_sequence requires RecordPolicy.FULL or "
+                "SUMMARY; this execution ran with RecordPolicy.NONE"
+            )
+        return tuple(c if c < 2 else "2+" for c in counts)
 
     # ------------------------------------------------------------------
     # Per-process views
@@ -183,6 +272,7 @@ class ExecutionResult:
         for a deterministic automaton with a fixed start state, equal views
         imply equal state sequences.
         """
+        self._require_full("view")
         upto = self.rounds if through_round is None else min(
             through_round, self.rounds
         )

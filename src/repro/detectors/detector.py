@@ -102,20 +102,31 @@ class ParametricCollisionDetector(CollisionDetector):
     ) -> Dict[ProcessId, CollisionAdvice]:
         advice: Dict[ProcessId, CollisionAdvice] = {}
         c = broadcasters
+        # The completeness/accuracy obligations depend only on (c, t), and
+        # c is fixed for the round: resolve each distinct t once.  Free
+        # choices stay per-process — policies may be pid- or RNG-driven.
+        obligation: Dict[int, Optional[CollisionAdvice]] = {}
+        free_choice = self.policy.free_choice
         for pid, t in received_counts.items():
             if t > c:
                 raise ModelViolation(
                     f"process {pid} received {t} messages but only {c} "
                     "were broadcast"
                 )
-            if must_report_collision(self.completeness, c, t):
-                advice[pid] = CollisionAdvice.COLLISION
+            if t in obligation:
+                obliged = obligation[t]
+            elif must_report_collision(self.completeness, c, t):
+                obliged = obligation[t] = CollisionAdvice.COLLISION
             elif must_report_null(
                 self.accuracy, round_index, self.r_acc, c, t
             ):
-                advice[pid] = CollisionAdvice.NULL
+                obliged = obligation[t] = CollisionAdvice.NULL
             else:
-                advice[pid] = self.policy.free_choice(round_index, pid, c, t)
+                obliged = obligation[t] = None
+            advice[pid] = (
+                obliged if obliged is not None
+                else free_choice(round_index, pid, c, t)
+            )
         return advice
 
     def reset(self) -> None:

@@ -17,12 +17,23 @@ from .detector_quality import (
     run_detector_quality,
     run_loss_calibration,
 )
-from .harness import Experiment, ExperimentRegistry, Table
+from .harness import (
+    Experiment,
+    ExperimentRegistry,
+    SweepCell,
+    SweepOutcome,
+    SweepRunner,
+    Table,
+    cell_seed,
+    consensus_sweep_cell,
+    sweep_grid,
+)
 from .lower import run_impossibility_witnesses, run_round_complexity_witnesses
 from .matrix import run_matrix
 from .multihop import run_multihop_flood
 from .registry import REGISTRY, render_all, run_experiment
 from .resilience import run_resilience
+from .sweep import run_parallel_sweep
 from .scenarios import (
     ecf_environment,
     maj_oac_environment,
@@ -38,6 +49,9 @@ from .termination import (
 
 __all__ = [
     "Table", "Experiment", "ExperimentRegistry",
+    "SweepRunner", "SweepCell", "SweepOutcome",
+    "sweep_grid", "cell_seed", "consensus_sweep_cell",
+    "run_parallel_sweep",
     "REGISTRY", "render_all", "run_experiment",
     "ecf_environment", "maj_oac_environment", "zero_oac_environment",
     "nocf_environment",

@@ -31,6 +31,7 @@ from ..contention.services import WakeUpService
 from ..core.consensus import evaluate
 from ..core.environment import Environment
 from ..core.execution import run_consensus
+from ..core.records import RecordPolicy
 from ..adversary.loss import EventualCollisionFreedom, IIDLoss
 from ..detectors.eventual import usually_perfect_detector
 from ..detectors.properties import Completeness
@@ -103,9 +104,11 @@ def run_eventual_completeness() -> List[Table]:
         loss=EventualCollisionFreedom(IIDLoss(0.3, seed=4), r_cf=cst),
     )
     bound = alg2_bound(cst, len(_VALUES))
+    # Only decisions and rounds are consulted: stream summaries.
     result = run_consensus(
         env, algorithm_2(_VALUES),
         {i: _VALUES[i] for i in range(4)}, max_rounds=bound + 10,
+        record_policy=RecordPolicy.SUMMARY,
     )
     report = evaluate(result, by_round=bound)
     table.add(
@@ -130,6 +133,7 @@ def run_eventual_completeness() -> List[Table]:
     result = run_consensus(
         env, algorithm_1(), {i: _VALUES[i] for i in range(4)},
         max_rounds=alg1_bound(cst) + 5,
+        record_policy=RecordPolicy.SUMMARY,
     )
     report = evaluate(result, by_round=alg1_bound(cst))
     table.add(

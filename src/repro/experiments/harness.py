@@ -1,15 +1,71 @@
-"""Experiment harness: tables, rendering, and the experiment registry type.
+"""Experiment harness: tables, rendering, the experiment registry type,
+and the parallel sweep runner.
 
 Every evaluation artifact of the paper (Figure 1 and the theorem matrix of
 Section 1.5) is reproduced by an *experiment*: a callable producing one or
 more :class:`Table` objects whose rows mirror what the paper reports.  The
 benchmarks print these tables; EXPERIMENTS.md records paper-vs-measured.
+
+Record policies and the parallel sweep API
+------------------------------------------
+
+Large sweeps (the E1 matrix, E3's |V| sweep, E13's phase studies, and any
+randomized campaign) have two scaling levers, both provided here and in
+:mod:`repro.core`:
+
+1. **Record policies** — :class:`repro.core.records.RecordPolicy` selects
+   how much per-round state an execution retains.  ``FULL`` keeps every
+   ``RoundRecord`` (required by trace validators and lower-bound
+   replays); ``SUMMARY`` streams one small per-round aggregate
+   (broadcast count, decisions, crashes); ``NONE`` keeps only final
+   outcomes.  Decisions and decision rounds are identical across
+   policies for the same seeds — an experiment that only calls
+   ``evaluate``/``last_decision_round`` should run under ``SUMMARY`` or
+   ``NONE`` and get the same table rows at a fraction of the memory.
+
+2. **The sweep runner** — :class:`SweepRunner` fans a grid of cells
+   (e.g. seed × n × detector class) across ``multiprocessing`` workers.
+   A *cell function* is any picklable top-level callable
+   ``fn(params: dict, seed: int) -> payload`` returning a picklable
+   payload; :func:`sweep_grid` builds the Cartesian product of named
+   axes, :func:`cell_seed` derives a deterministic per-cell seed from a
+   base seed plus the cell's coordinates (stable across processes and
+   runs — no ``PYTHONHASHSEED`` dependence), and ``SweepRunner.run``
+   merges payloads back in grid order.  Dispatch problems — a sandboxed
+   platform with no pool, an unpicklable cell function — degrade to
+   in-process serial execution with a warning, so results never depend
+   on where cells ran; an exception raised *by a cell* always
+   propagates.
+
+Example::
+
+    runner = SweepRunner(consensus_sweep_cell, base_seed=7)
+    outcomes = runner.run_grid(
+        n=[4, 16], detector=["0-OAC", "maj-OAC"], trial=range(3)
+    )
+    solved = [o.payload["solved"] for o in outcomes]
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+import hashlib
+import itertools
+import multiprocessing
+import os
+import pickle
+import warnings
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 
 @dataclasses.dataclass
@@ -102,3 +158,213 @@ class ExperimentRegistry:
 
     def ids(self) -> List[str]:
         return sorted(self._experiments)
+
+
+# ----------------------------------------------------------------------
+# The parallel sweep runner
+# ----------------------------------------------------------------------
+def _canonical(value: Any) -> str:
+    """A stable, value-based encoding of one sweep coordinate.
+
+    Only types with value-based representations are accepted; anything
+    falling back to ``object.__repr__`` would embed a memory address and
+    silently break cross-run seed determinism, so it is rejected instead.
+    """
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return repr(value)
+    if isinstance(value, (list, tuple)):
+        inner = ",".join(_canonical(v) for v in value)
+        return f"[{inner}]"
+    if isinstance(value, dict):
+        inner = ",".join(
+            f"{_canonical(k)}:{_canonical(v)}"
+            for k, v in sorted(value.items(), key=lambda kv: repr(kv[0]))
+        )
+        return f"{{{inner}}}"
+    raise TypeError(
+        f"sweep coordinate {value!r} of type {type(value).__name__} has no "
+        "canonical value encoding; use primitive coordinates (e.g. a "
+        "detector-class *name*) and construct objects inside the cell fn"
+    )
+
+
+def cell_seed(base_seed: int, **params: Any) -> int:
+    """Deterministic 32-bit seed for one sweep cell.
+
+    Derived from ``base_seed`` plus the cell's named coordinates via
+    SHA-256, so the same cell gets the same seed in every process, on
+    every platform, in every run — independent of grid order, worker
+    scheduling, and ``PYTHONHASHSEED``.  Coordinates must be primitives
+    (or lists/dicts of them); objects without value-based reprs are
+    rejected rather than silently seeding from a memory address.
+    """
+    text = "|".join(
+        [str(int(base_seed))]
+        + [f"{name}={_canonical(v)}" for name, v in sorted(params.items())]
+    )
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+def sweep_grid(**axes: Iterable[Any]) -> List[Dict[str, Any]]:
+    """Cartesian product of named axes, row-major in keyword order."""
+    names = list(axes)
+    values = [list(axes[name]) for name in names]
+    return [dict(zip(names, combo)) for combo in itertools.product(*values)]
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepCell:
+    """One point of a sweep grid: its position, seed, and coordinates."""
+
+    index: int
+    seed: int
+    params: Tuple[Tuple[str, Any], ...]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepOutcome:
+    """A finished cell: the cell plus whatever its function returned."""
+
+    cell: SweepCell
+    payload: Any
+
+    @property
+    def params(self) -> Dict[str, Any]:
+        return self.cell.as_dict()
+
+
+def _run_sweep_cell(job: Tuple[Callable[..., Any], SweepCell]) -> SweepOutcome:
+    """Worker entry point (module-level so it pickles under spawn)."""
+    fn, cell = job
+    return SweepOutcome(cell=cell, payload=fn(cell.as_dict(), cell.seed))
+
+
+class SweepRunner:
+    """Fan a grid of experiment cells across ``multiprocessing`` workers.
+
+    Parameters
+    ----------
+    cell_fn:
+        A picklable top-level callable ``fn(params, seed) -> payload``.
+        ``params`` is the cell's coordinate dict; ``seed`` its
+        deterministic per-cell seed (which the function may ignore when a
+        coordinate supplies its own).  The payload must be picklable —
+        return plain dicts/tuples, not live engine objects.
+    processes:
+        Worker count.  ``None`` picks ``min(cells, cpu_count)``; ``0`` or
+        ``1`` forces serial in-process execution (no pickling involved).
+    base_seed:
+        Folded into every cell's :func:`cell_seed`.
+    """
+
+    def __init__(
+        self,
+        cell_fn: Callable[[Dict[str, Any], int], Any],
+        processes: Optional[int] = None,
+        base_seed: int = 0,
+    ) -> None:
+        self.cell_fn = cell_fn
+        self.processes = processes
+        self.base_seed = base_seed
+
+    # ------------------------------------------------------------------
+    def cells(self, **axes: Iterable[Any]) -> List[SweepCell]:
+        """Materialise the grid as seeded :class:`SweepCell` objects."""
+        return [
+            SweepCell(
+                index=i,
+                seed=cell_seed(self.base_seed, **params),
+                params=tuple(sorted(params.items())),
+            )
+            for i, params in enumerate(sweep_grid(**axes))
+        ]
+
+    def run(self, cells: Sequence[SweepCell]) -> List[SweepOutcome]:
+        """Run every cell and return outcomes in grid order."""
+        jobs = [(self.cell_fn, cell) for cell in cells]
+        workers = self.processes
+        if workers is None:
+            workers = min(len(jobs), os.cpu_count() or 1)
+        if workers <= 1 or len(jobs) <= 1:
+            return [_run_sweep_cell(job) for job in jobs]
+        # Only *dispatch* problems fall back to serial — an unpicklable
+        # cell function (probed up front, so a cell's own AttributeError
+        # is never mistaken for a pickling failure) or pool creation on a
+        # sandboxed platform.  Exceptions raised by cells in workers
+        # propagate from pool.map unchanged.
+        try:
+            pickle.dumps(self.cell_fn)
+        except Exception as exc:
+            warnings.warn(
+                f"SweepRunner: cell function not picklable ({exc!r}); "
+                "running cells serially in-process",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return [_run_sweep_cell(job) for job in jobs]
+        try:
+            pool = multiprocessing.Pool(workers)
+        except (OSError, ValueError, PermissionError) as exc:
+            warnings.warn(
+                f"SweepRunner: multiprocessing pool unavailable ({exc!r}); "
+                "running cells serially in-process",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return [_run_sweep_cell(job) for job in jobs]
+        with pool:
+            outcomes = pool.map(_run_sweep_cell, jobs)
+        return sorted(outcomes, key=lambda o: o.cell.index)
+
+    def run_grid(self, **axes: Iterable[Any]) -> List[SweepOutcome]:
+        """Convenience: :meth:`cells` then :meth:`run`."""
+        return self.run(self.cells(**axes))
+
+
+def consensus_sweep_cell(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Built-in sweep cell: Algorithm 2 to decision in an ECF environment.
+
+    Recognised ``params`` (all optional): ``n`` (process count, default 4),
+    ``values`` (|V|, default 16), ``cst`` (default 3), ``detector`` (a
+    Figure 1 class name, default ``"0-OAC"``), ``loss_rate`` (default
+    0.3), ``record_policy`` (``"full"``/``"summary"``/``"none"``, default
+    summary), ``seed`` (overrides the derived per-cell seed).  Returns a
+    picklable dict with decisions, decision rounds, round count, and the
+    consensus report's verdicts.
+    """
+    from ..algorithms.alg2 import algorithm_2, termination_bound
+    from ..core.consensus import evaluate
+    from ..core.execution import run_consensus
+    from ..core.records import RecordPolicy
+    from ..detectors.classes import get_class
+    from .scenarios import ecf_environment
+
+    n = int(params.get("n", 4))
+    vc = int(params.get("values", 16))
+    cst = int(params.get("cst", 3))
+    loss_rate = float(params.get("loss_rate", 0.3))
+    detector = get_class(str(params.get("detector", "0-OAC")))
+    policy = RecordPolicy(str(params.get("record_policy", "summary")))
+    seed = int(params.get("seed", seed))
+
+    values = list(range(vc))
+    env = ecf_environment(n, detector, cst=cst, loss_rate=loss_rate, seed=seed)
+    assignment = {i: values[(i * 7 + seed) % vc] for i in env.indices}
+    bound = termination_bound(cst, vc)
+    result = run_consensus(
+        env, algorithm_2(values), assignment,
+        max_rounds=bound + 20, record_policy=policy,
+    )
+    report = evaluate(result, by_round=bound)
+    return {
+        "decisions": dict(result.decisions),
+        "decision_rounds": dict(result.decision_rounds),
+        "rounds": result.rounds,
+        "solved": report.solved,
+        "agreement": report.agreement,
+        "decision_round": result.last_decision_round(),
+    }

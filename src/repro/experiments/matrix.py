@@ -24,6 +24,7 @@ from ..algorithms.alg3 import termination_bound as alg3_bound
 from ..algorithms.baselines import naive_min_consensus
 from ..core.consensus import evaluate
 from ..core.execution import run_consensus
+from ..core.records import RecordPolicy
 from ..detectors.classes import HALF_AC, MAJ_OAC, ZERO_OAC
 from ..lowerbounds.theorems import (
     theorem4_witness,
@@ -43,8 +44,11 @@ _VALUES = list(range(64))
 def _measure_upper(algorithm_factory, detector_class, bound: int) -> str:
     env = ecf_environment(_N, detector_class, cst=_CST, seed=1)
     assignment = {i: _VALUES[(i * 5) % len(_VALUES)] for i in range(_N)}
+    # Upper-bound rows only consult decisions and decision rounds, so the
+    # streaming record policy suffices (identical outcomes, less memory).
     result = run_consensus(
-        env, algorithm_factory(), assignment, max_rounds=bound + 20
+        env, algorithm_factory(), assignment, max_rounds=bound + 20,
+        record_policy=RecordPolicy.SUMMARY,
     )
     report = evaluate(result, by_round=bound)
     decided = result.last_decision_round()
@@ -171,7 +175,8 @@ def run_matrix() -> List[Table]:
     assignment = {i: _VALUES[(i * 5) % len(_VALUES)] for i in range(_N)}
     bound = alg3_bound(len(_VALUES))
     result = run_consensus(
-        env, algorithm_3(_VALUES), assignment, max_rounds=bound + 8
+        env, algorithm_3(_VALUES), assignment, max_rounds=bound + 8,
+        record_policy=RecordPolicy.SUMMARY,
     )
     report = evaluate(result, by_round=bound)
     w9 = theorem9_witness(algorithm_3(_VALUES), _VALUES, n=2)

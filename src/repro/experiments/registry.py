@@ -24,6 +24,7 @@ from .lower import run_impossibility_witnesses, run_round_complexity_witnesses
 from .matrix import run_matrix
 from .multihop import run_multihop_flood
 from .resilience import run_resilience
+from .sweep import run_parallel_sweep
 from .termination import (
     run_alg1_termination,
     run_alg2_value_sweep,
@@ -134,6 +135,12 @@ REGISTRY.register(Experiment(
     title="Safety under randomized hostile schedules",
     paper_ref="Section 1.3 safety/liveness separation",
     run=run_resilience,
+))
+REGISTRY.register(Experiment(
+    exp_id="E17",
+    title="Parallel sweep under streaming record policies",
+    paper_ref="engineering artifact (ROADMAP scaling north star)",
+    run=run_parallel_sweep,
 ))
 
 

@@ -31,7 +31,8 @@ from ..algorithms.nonanonymous import non_anonymous_algorithm
 from ..algorithms.nonanonymous import termination_bound as nonanon_bound
 from ..core.consensus import evaluate
 from ..core.execution import run_consensus
-from .harness import Table
+from ..core.records import RecordPolicy
+from .harness import SweepRunner, Table
 from .scenarios import maj_oac_environment, nocf_environment, zero_oac_environment
 
 
@@ -69,13 +70,50 @@ def run_alg1_termination(
     return [table]
 
 
+def _alg2_sweep_cell(params, derived_seed):
+    """E3 sweep cell (module-level so it pickles to sweep workers).
+
+    Reproduces exactly the original serial computation for one ``|V|``:
+    the cell's own ``seed`` coordinate overrides the derived per-cell
+    seed, so the table is identical however the cells are distributed.
+    """
+    vc = params["vc"]
+    n = params["n"]
+    cst = params["cst"]
+    seed = params.get("seed", derived_seed)
+    values = list(range(vc))
+    env = zero_oac_environment(n, cst=cst, seed=seed)
+    assignment = {i: values[(i * 7) % vc] for i in range(n)}
+    bound = alg2_bound(cst, vc)
+    result = run_consensus(
+        env, algorithm_2(values), assignment, max_rounds=bound + 20,
+        record_policy=RecordPolicy.SUMMARY,
+    )
+    report = evaluate(result, by_round=bound)
+    decided = result.last_decision_round()
+    return {
+        "|V|": vc,
+        "lg|V|": max(1, math.ceil(math.log2(vc))) if vc > 1 else 1,
+        "rounds_after_cst": None if decided is None else decided - cst,
+        "bound_after_cst": bound - cst,
+        "within_bound": report.termination,
+        "solved": report.solved,
+    }
+
+
 def run_alg2_value_sweep(
     value_counts=(2, 4, 16, 64, 256, 1024),
     n: int = 5,
     cst: int = 4,
     seed: int = 0,
+    processes=None,
 ) -> List[Table]:
-    """E3: Algorithm 2's rounds-after-CST grow as ``2(⌈lg|V|⌉ + 1)``."""
+    """E3: Algorithm 2's rounds-after-CST grow as ``2(⌈lg|V|⌉ + 1)``.
+
+    The per-|V| cells are independent, so they fan out across
+    :class:`~repro.experiments.harness.SweepRunner` workers; rows come
+    back in grid order under the streaming record policy.
+    """
     table = Table(
         title="E3  Algorithm 2 round complexity vs |V| (Theorem 2)",
         columns=[
@@ -84,24 +122,12 @@ def run_alg2_value_sweep(
         ],
         note="rounds_after_cst = decision round - CST; bound = 2(⌈lg|V|⌉+1)",
     )
-    for vc in value_counts:
-        values = list(range(vc))
-        env = zero_oac_environment(n, cst=cst, seed=seed)
-        assignment = {i: values[(i * 7) % vc] for i in range(n)}
-        bound = alg2_bound(cst, vc)
-        result = run_consensus(
-            env, algorithm_2(values), assignment, max_rounds=bound + 20
-        )
-        report = evaluate(result, by_round=bound)
-        decided = result.last_decision_round()
-        table.add(**{
-            "|V|": vc,
-            "lg|V|": max(1, math.ceil(math.log2(vc))) if vc > 1 else 1,
-            "rounds_after_cst": None if decided is None else decided - cst,
-            "bound_after_cst": bound - cst,
-            "within_bound": report.termination,
-            "solved": report.solved,
-        })
+    runner = SweepRunner(_alg2_sweep_cell, processes=processes)
+    outcomes = runner.run_grid(
+        vc=value_counts, n=[n], cst=[cst], seed=[seed]
+    )
+    for outcome in outcomes:
+        table.add(**outcome.payload)
     return [table]
 
 

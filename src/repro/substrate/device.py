@@ -153,8 +153,17 @@ class Testbed:
         processes = algorithm.instantiate(dict(initial_values))
         engine = ExecutionEngine(environment, processes, dict(initial_values))
         execution = engine.run(max_rounds, until_all_decided=True)
+        # A process can broadcast its confirming solo message and crash
+        # *after send* in the same round: the backoff locks it in, and
+        # only the next advise() would heal.  If the run ended first,
+        # don't report a crashed process as the standing leader.
+        leader = backoff.leader
+        stabilized_at = backoff.stabilized_at
+        if leader is not None and execution.crash_rounds.get(leader) is not None:
+            leader = None
+            stabilized_at = None
         return TestbedResult(
             execution=execution,
-            backoff_stabilized_at=backoff.stabilized_at,
-            leader=backoff.leader,
+            backoff_stabilized_at=stabilized_at,
+            leader=leader,
         )

@@ -168,15 +168,22 @@ def test_physical_layer_serves_both_interfaces_consistently():
 
 
 def test_testbed_runs_alg2_to_agreement():
+    # A 2-value domain decides within ~6 rounds -- before the backoff ever
+    # hears a confirmed single-broadcaster round -- so use a 16-value
+    # domain: the longer descent gives the channel time to confirm a
+    # leader (lock-in now requires a *heard* solo broadcast, not merely
+    # solo-active advice).
     testbed = Testbed(n=5, seed=7)
+    values = list(range(16))
     result = testbed.run(
-        algorithm_2(["commit", "abort"]),
-        {i: ("commit" if i % 2 else "abort") for i in range(5)},
+        algorithm_2(values),
+        {i: values[i % 16] for i in range(5)},
         max_rounds=2000,
     )
     report = evaluate(result.execution)
     assert report.solved
     assert result.leader is not None
+    assert result.backoff_stabilized_at is not None
 
 
 def test_testbed_alg1_safe_across_seeds():
