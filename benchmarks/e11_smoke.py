@@ -1,4 +1,5 @@
-"""Quick-mode E11 smoke benchmark: engine rounds/sec per record policy.
+"""Quick-mode E11 smoke benchmark: engine rounds/sec per record policy,
+plus per-adversary batched-vs-legacy loss-resolution throughput.
 
 Writes a small JSON artifact (default ``BENCH_e11.json``) so CI can track
 the engine's throughput trajectory from PR to PR without the full
@@ -7,6 +8,12 @@ pytest-benchmark machinery.  Usage::
     PYTHONPATH=src python benchmarks/e11_smoke.py --quick --out BENCH_e11.json
 
 ``--quick`` shrinks repetitions for CI; omit it for steadier numbers.
+
+The per-adversary section runs every built-in loss adversary twice under
+``RecordPolicy.NONE``: once through its batched ``losses_for_round``
+override and once through the per-receiver fallback (the base-class
+default, which third-party adversaries still use), reporting both
+rounds/sec figures and the speedup ratio per adversary.
 """
 
 from __future__ import annotations
@@ -16,7 +23,17 @@ import json
 import platform
 import time
 
-from repro.adversary.loss import IIDLoss
+from repro.adversary.loss import (
+    AlphaLoss,
+    CaptureEffectLoss,
+    ComposedLoss,
+    EventualCollisionFreedom,
+    IIDLoss,
+    LossAdversary,
+    PartitionLoss,
+    ReliableDelivery,
+    SilenceLoss,
+)
 from repro.contention.services import NoContentionManager
 from repro.core.algorithm import Algorithm
 from repro.core.environment import Environment
@@ -26,13 +43,62 @@ from repro.core.records import RecordPolicy
 from repro.detectors.classes import ZERO_AC
 
 
-def run_rounds(n: int, rounds: int, policy: RecordPolicy) -> float:
+class PerReceiverFallback(LossAdversary):
+    """Force the base-class per-receiver fallback for any adversary.
+
+    Delegates ``losses`` but deliberately does not override
+    ``losses_for_round``, so the engine exercises the legacy resolution
+    path — the baseline every batched override is measured against.
+    """
+
+    def __init__(self, inner: LossAdversary) -> None:
+        self.inner = inner
+
+    def losses(self, round_index, senders, receiver):
+        return self.inner.losses(round_index, senders, receiver)
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+    @property
+    def r_cf(self):
+        return self.inner.r_cf
+
+
+def _adversary_matrix(n: int):
+    """Name -> factory for every built-in loss adversary at size ``n``."""
+    half = n // 2
+    return {
+        "reliable": lambda: ReliableDelivery(),
+        "silence": lambda: SilenceLoss(),
+        "alpha": lambda: AlphaLoss(),
+        "iid_0.3": lambda: IIDLoss(0.3, seed=0),
+        "capture": lambda: CaptureEffectLoss(capture_limit=1, seed=0),
+        "partition": lambda: PartitionLoss(
+            [range(half), range(half, n)]
+        ),
+        "composed": lambda: ComposedLoss(
+            [PartitionLoss([range(half), range(half, n)]),
+             IIDLoss(0.2, seed=1)]
+        ),
+        "ecf_iid": lambda: EventualCollisionFreedom(
+            IIDLoss(0.3, seed=0), r_cf=1
+        ),
+    }
+
+
+def run_rounds(
+    n: int,
+    rounds: int,
+    policy: RecordPolicy,
+    loss: LossAdversary = None,
+) -> float:
     """One timed raw-engine execution; returns elapsed seconds."""
     env = Environment(
         indices=tuple(range(n)),
         detector=ZERO_AC.make(),
         contention=NoContentionManager(),
-        loss=IIDLoss(0.3, seed=0),
+        loss=loss if loss is not None else IIDLoss(0.3, seed=0),
     )
     env.reset()
     algo = Algorithm(
@@ -67,6 +133,7 @@ def main() -> None:
         "repetitions": reps,
         "python": platform.python_version(),
         "results": {},
+        "adversaries": {},
     }
     for policy in (RecordPolicy.FULL, RecordPolicy.SUMMARY, RecordPolicy.NONE):
         timings = [run_rounds(args.n, args.rounds, policy) for _ in range(reps)]
@@ -83,6 +150,38 @@ def main() -> None:
     full = report["results"]["full"]["rounds_per_second"]
     summary = report["results"]["summary"]["rounds_per_second"]
     report["summary_over_full"] = summary / full
+
+    # Per-adversary batched vs per-receiver-fallback throughput (NONE
+    # mode: the loss resolution dominates, so the ratio isolates the
+    # batching win per adversary).
+    adv_reps = 2 if args.quick else 4
+    adv_rounds = max(50, args.rounds // 2)
+    print(f"\n{'adversary':10s} {'batched r/s':>12s} {'legacy r/s':>12s} "
+          f"{'speedup':>8s}")
+    for name, factory in _adversary_matrix(args.n).items():
+        batched = min(
+            run_rounds(args.n, adv_rounds, RecordPolicy.NONE, factory())
+            for _ in range(adv_reps)
+        )
+        legacy = min(
+            run_rounds(
+                args.n, adv_rounds, RecordPolicy.NONE,
+                PerReceiverFallback(factory()),
+            )
+            for _ in range(adv_reps)
+        )
+        entry = {
+            "batched_rounds_per_second": adv_rounds / batched,
+            "legacy_rounds_per_second": adv_rounds / legacy,
+            "speedup": legacy / batched,
+        }
+        report["adversaries"][name] = entry
+        print(
+            f"{name:10s} {entry['batched_rounds_per_second']:12.0f} "
+            f"{entry['legacy_rounds_per_second']:12.0f} "
+            f"{entry['speedup']:7.2f}x"
+        )
+
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)
     print(f"wrote {args.out}")

@@ -30,12 +30,14 @@ from .loss import (
     LossAdversary,
     PartitionLoss,
     ReliableDelivery,
+    ResolvedRoundLosses,
     ScriptedLoss,
     SilenceLoss,
 )
 
 __all__ = [
     "LossAdversary",
+    "ResolvedRoundLosses",
     "ReliableDelivery",
     "SilenceLoss",
     "IIDLoss",

@@ -6,10 +6,49 @@ message — constraint 5, which the engine enforces regardless of what an
 adversary says).  A loss adversary answers one question per (round,
 receiver): *which senders' messages are dropped here?*
 
-The interface is deliberately per-receiver so adversaries can create the
-non-uniform receive sets the paper motivates with the capture effect
-(Section 1.1): two listeners within range of the same two broadcasters may
-receive different messages.
+The per-receiver :meth:`LossAdversary.losses` interface is deliberately
+fine-grained so adversaries can create the non-uniform receive sets the
+paper motivates with the capture effect (Section 1.1): two listeners
+within range of the same two broadcasters may receive different messages.
+
+The batched contract
+--------------------
+
+The engine's hot path asks one question per *round*, not per receiver:
+:meth:`LossAdversary.losses_for_round` returns a mapping from every
+receiver to its drop set.  The base class provides a fallback that loops
+over :meth:`losses`, so third-party adversaries keep working unchanged;
+every built-in overrides it with a genuinely batched resolution.  Two
+conventions let the engine amortise work across receivers:
+
+* **Shared-set aliasing** — a batched adversary may map *several*
+  receivers to the *same* set object (e.g. :class:`SilenceLoss` returns
+  one interned frozenset for everyone).  The engine detects aliasing by
+  object identity and computes the surviving multiset once per distinct
+  set.  A shared set may contain a receiver that is itself a sender; the
+  engine restores self-delivery per receiver (constraint 5), so sharing
+  never changes semantics.  Corollary for implementers: never mutate a
+  drop set after returning it, and only alias sets whose *pre-exemption*
+  content is identical for all aliased receivers.
+* **Normalized mappings** — an adversary that guarantees every drop set
+  is already a subset of ``senders`` *excluding the receiver itself*
+  returns a :class:`ResolvedRoundLosses` mapping.  The engine then skips
+  the per-element sender/self filtering and treats a receiver appearing
+  in its own drop set as a model violation (a self-delivery breach,
+  surfaced as :class:`~repro.core.errors.ModelViolation`).
+
+Determinism guarantees: the same seed and the same call sequence replay
+the same execution (the engine always enumerates receivers in index
+order, so engine-driven runs are reproducible end to end).  For the
+RNG-free adversaries the batched and per-receiver paths produce
+*identical* executions.  :class:`CaptureEffectLoss` goes further — its
+draws are a pure function of ``(seed, round, receiver)``, so its pattern
+is independent of how callers enumerate receivers.  :class:`IIDLoss`'s
+batched path consumes its stream in receiver-enumeration order: it draws
+a different (but equally seeded) stream than the per-receiver path, with
+the exact same Bernoulli(p) per-pair law, spending O(#losses) draws per
+round instead of O(n^2) (vectorised when numpy is available, geometric
+gap-skipping otherwise).
 
 :class:`EventualCollisionFreedom` is the Property 1 wrapper: it delegates
 to an inner adversary until ``r_cf`` and thereafter forces delivery in
@@ -20,6 +59,7 @@ adversary's mercy — ECF promises nothing about them).
 from __future__ import annotations
 
 import abc
+import math
 import random
 from typing import (
     AbstractSet,
@@ -27,17 +67,36 @@ from typing import (
     Dict,
     FrozenSet,
     Iterable,
+    List,
     Mapping,
     Optional,
     Sequence,
     Set,
 )
 
+try:  # Optional acceleration for whole-round IID resolution.
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in CI
+    _np = None
+
 from ..core.errors import ConfigurationError
 from ..core.types import ProcessId
 
 #: The empty drop set, shared to avoid churn in the hot path.
 _NO_LOSS: FrozenSet[ProcessId] = frozenset()
+
+
+class ResolvedRoundLosses(Dict[ProcessId, AbstractSet[ProcessId]]):
+    """A *normalized* whole-round loss mapping.
+
+    Returning this type from :meth:`LossAdversary.losses_for_round` is a
+    promise that every drop set is a subset of this round's senders and
+    never contains the receiver it is keyed under.  The engine exploits
+    the promise (``|lost|`` *is* the number of dropped messages) and
+    enforces it: a receiver found in its own drop set, or a non-sender in
+    any drop set, raises :class:`~repro.core.errors.ModelViolation`
+    instead of silently corrupting receive counts.
+    """
 
 
 class LossAdversary(abc.ABC):
@@ -56,6 +115,32 @@ class LossAdversary(abc.ABC):
         returned set may include ``receiver`` itself but the engine ignores
         that entry: self-delivery is unconditional in the model.
         """
+
+    def losses_for_round(
+        self,
+        round_index: int,
+        senders: Sequence[ProcessId],
+        receivers: Sequence[ProcessId],
+    ) -> Mapping[ProcessId, AbstractSet[ProcessId]]:
+        """Resolve the whole round at once: receiver -> dropped senders.
+
+        The default falls back to one :meth:`losses` call per receiver,
+        so adversaries written against the per-receiver interface keep
+        working.  Built-ins override this with batched implementations
+        (see the module docstring for the aliasing and normalization
+        conventions batched mappings may use).
+        """
+        losses = self.losses
+        out: Dict[ProcessId, AbstractSet[ProcessId]] = {}
+        for receiver in receivers:
+            lost = losses(round_index, senders, receiver)
+            if type(lost) is not set and not isinstance(lost, frozenset):
+                # Coerce annotation-violating adversaries (e.g. a
+                # ScriptedLoss callback returning a list) so downstream
+                # decrement loops never double-count duplicates.
+                lost = set(lost)
+            out[receiver] = lost
+        return out
 
     def reset(self) -> None:
         """Forget internal state before a fresh execution (default: none)."""
@@ -80,6 +165,14 @@ class ReliableDelivery(LossAdversary):
     ) -> AbstractSet[ProcessId]:
         return _NO_LOSS
 
+    def losses_for_round(
+        self,
+        round_index: int,
+        senders: Sequence[ProcessId],
+        receivers: Sequence[ProcessId],
+    ) -> Mapping[ProcessId, AbstractSet[ProcessId]]:
+        return dict.fromkeys(receivers, _NO_LOSS)
+
     @property
     def r_cf(self) -> int:
         return 1
@@ -100,6 +193,19 @@ class SilenceLoss(LossAdversary):
     ) -> AbstractSet[ProcessId]:
         return frozenset(s for s in senders if s != receiver)
 
+    def losses_for_round(
+        self,
+        round_index: int,
+        senders: Sequence[ProcessId],
+        receivers: Sequence[ProcessId],
+    ) -> Mapping[ProcessId, AbstractSet[ProcessId]]:
+        # One interned drop set for everyone; the engine exempts each
+        # receiver's own message (constraint 5), so sharing the full
+        # sender set is exact.
+        if not senders:
+            return dict.fromkeys(receivers, _NO_LOSS)
+        return dict.fromkeys(receivers, frozenset(senders))
+
 
 class IIDLoss(LossAdversary):
     """Independent per-(receiver, sender) loss with probability ``p``.
@@ -114,6 +220,12 @@ class IIDLoss(LossAdversary):
         self.p = p
         self.seed = seed
         self._rng = random.Random(seed)
+        # Lazily created streams for the batched paths (PCG64 when numpy
+        # is available, a dedicated stdlib stream otherwise); kept
+        # separate from the legacy stream so per-receiver callers are
+        # unaffected by whether batched rounds ran in between.
+        self._np_gen = None
+        self._batch_rng: Optional[random.Random] = None
 
     def losses(
         self,
@@ -121,14 +233,152 @@ class IIDLoss(LossAdversary):
         senders: Sequence[ProcessId],
         receiver: ProcessId,
     ) -> AbstractSet[ProcessId]:
-        # Hot path: one RNG draw per (sender, receiver) pair per round.
-        # Locals avoid re-resolving the attributes on every iteration.
+        # Legacy per-receiver path: one RNG draw per (sender, receiver)
+        # pair.  Locals avoid re-resolving attributes per iteration.
         rand = self._rng.random
         p = self.p
         return {s for s in senders if s != receiver and rand() < p}
 
+    def losses_for_round(
+        self,
+        round_index: int,
+        senders: Sequence[ProcessId],
+        receivers: Sequence[ProcessId],
+    ) -> Mapping[ProcessId, AbstractSet[ProcessId]]:
+        # Geometric gap-skipping over the (receiver x sender) grid: the
+        # flat grid is an iid Bernoulli(p) stream, so the gap to the next
+        # loss is geometric and one RNG draw per *loss* replaces one draw
+        # per *pair* — O(p·n²) instead of O(n²), the exact same law.
+        # Self pairs are part of the grid and simply discarded, keeping
+        # index arithmetic trivial without changing any other pair's law.
+        p = self.p
+        n_senders = len(senders)
+        if p <= 0.0 or n_senders == 0:
+            return ResolvedRoundLosses(
+                (pid, _NO_LOSS) for pid in receivers
+            )
+        if p >= 1.0:
+            # Everyone loses everything (self-delivery restored by the
+            # engine): one shared interned set.
+            return dict.fromkeys(receivers, frozenset(senders))
+        if _np is not None:
+            return self._losses_for_round_np(senders, receivers)
+        log_q = math.log1p(-p)
+        if log_q == 0.0:
+            # log1p underflows to -0.0 only for p below ~1e-16, where the
+            # chance of even one loss in a round is < n^2 * 1e-16 —
+            # indistinguishable from lossless at any statistical
+            # tolerance.
+            return ResolvedRoundLosses(
+                (pid, _NO_LOSS) for pid in receivers
+            )
+        receiver_list = list(receivers)
+        senders_t = tuple(senders)
+        total = n_senders * len(receiver_list)
+        out = ResolvedRoundLosses()
+        if not receiver_list:
+            return out
+        if self._batch_rng is None:
+            # A dedicated stream (seeded from the adversary's seed) so
+            # interleaving batched and per-receiver calls never shifts
+            # either stream.
+            self._batch_rng = random.Random(f"{self.seed}|batched")
+        rand = self._batch_rng.random
+        log1p = math.log1p
+        inv_log_q = 1.0 / log_q
+        # Losses arrive in flat-index order, i.e. receiver-major: walk the
+        # current row alongside the skip sequence so each loss costs one
+        # subtraction instead of a divmod, and each row's drop set is
+        # created exactly once, when its first loss appears.
+        row = 0
+        row_start = 0
+        row_end = n_senders
+        pid = receiver_list[0]
+        lost: Optional[Set[ProcessId]] = None
+        idx = -1
+        while True:
+            # Failures before the next success: floor(log(1-U)/log(1-p)).
+            # The float comparison runs before int() so a huge gap (tiny
+            # p can push it past float range) ends the round instead of
+            # overflowing.
+            gap = log1p(-rand()) * inv_log_q
+            if gap >= total:
+                break
+            idx += 1 + int(gap)
+            if idx >= total:
+                break
+            if idx >= row_end:
+                row = idx // n_senders
+                pid = receiver_list[row]
+                row_start = row * n_senders
+                row_end = row_start + n_senders
+                lost = None
+            s = senders_t[idx - row_start]
+            if s == pid:
+                continue
+            if lost is None:
+                out[pid] = lost = {s}
+            else:
+                lost.add(s)
+        for pid in receiver_list:
+            if pid not in out:
+                out[pid] = _NO_LOSS
+        return out
+
+    def _losses_for_round_np(
+        self,
+        senders: Sequence[ProcessId],
+        receivers: Sequence[ProcessId],
+    ) -> "ResolvedRoundLosses":
+        """Vectorised whole-round resolution (numpy available).
+
+        Draws the full (receiver x sender) Bernoulli grid in one C call
+        from a dedicated PCG64 stream, then splits the loss positions by
+        receiver row; each row's drop set is one ``set()`` construction
+        over a C-materialised slice.  Same iid Bernoulli(p) law as the
+        scalar paths, deterministic per seed.
+        """
+        gen = self._np_gen
+        if gen is None:
+            self._np_gen = gen = _np.random.Generator(
+                _np.random.PCG64(self.seed)
+            )
+        receiver_list = list(receivers)
+        n_senders = len(senders)
+        n_receivers = len(receiver_list)
+        flat = _np.flatnonzero(
+            gen.random(n_senders * n_receivers) < self.p
+        )
+        out = ResolvedRoundLosses()
+        if not flat.size:
+            for pid in receiver_list:
+                out[pid] = _NO_LOSS
+            return out
+        rows = flat // n_senders
+        # Fancy-indexing the sender sequence keeps arbitrary hashable
+        # ProcessIds intact (object dtype round-trips through tolist).
+        lost_senders = _np.asarray(senders)[flat - rows * n_senders]
+        bounds = _np.searchsorted(
+            rows, _np.arange(n_receivers + 1)
+        ).tolist()
+        lost_list = lost_senders.tolist()
+        for i, pid in enumerate(receiver_list):
+            a = bounds[i]
+            b = bounds[i + 1]
+            if a == b:
+                out[pid] = _NO_LOSS
+                continue
+            lost = set(lost_list[a:b])
+            # Self pairs are part of the grid; discard keeps the
+            # normalized promise (drop sets never name their receiver).
+            lost.discard(pid)
+            out[pid] = lost if lost else _NO_LOSS
+        return out
+
     def reset(self) -> None:
         self._rng = random.Random(self.seed)
+        self._np_gen = None
+        self._batch_rng = None
 
 
 class CaptureEffectLoss(LossAdversary):
@@ -141,6 +391,12 @@ class CaptureEffectLoss(LossAdversary):
     ``capture_limit`` — reproducing the A/B/C/D example of Section 1.1
     where listeners within range of the same two senders end up with
     different receive sets.
+
+    Randomness is drawn from a substream derived from ``(seed,
+    round_index, receiver)`` rather than from one shared stream, so the
+    loss pattern is a pure function of the seed: the same seed gives the
+    same execution *regardless of the order in which callers enumerate
+    receivers*, and the batched and per-receiver paths agree exactly.
     """
 
     def __init__(
@@ -156,7 +412,11 @@ class CaptureEffectLoss(LossAdversary):
         self.capture_limit = capture_limit
         self.p_single_loss = p_single_loss
         self.seed = seed
-        self._rng = random.Random(seed)
+
+    def _pair_rng(self, round_index: int, receiver: ProcessId) -> random.Random:
+        # String seeding hashes with SHA-512 internally: deterministic
+        # across runs and platforms, independent of PYTHONHASHSEED.
+        return random.Random(f"{self.seed}|{round_index}|{receiver!r}")
 
     def losses(
         self,
@@ -167,18 +427,28 @@ class CaptureEffectLoss(LossAdversary):
         others = [s for s in senders if s != receiver]
         if not others:
             return _NO_LOSS
+        rng = self._pair_rng(round_index, receiver)
         if len(senders) == 1:
-            if self._rng.random() < self.p_single_loss:
+            if rng.random() < self.p_single_loss:
                 return frozenset(others)
             return _NO_LOSS
-        captured_count = self._rng.randint(
-            0, min(self.capture_limit, len(others))
-        )
-        captured = set(self._rng.sample(others, captured_count))
+        captured_count = rng.randint(0, min(self.capture_limit, len(others)))
+        captured = set(rng.sample(others, captured_count))
         return {s for s in others if s not in captured}
 
-    def reset(self) -> None:
-        self._rng = random.Random(self.seed)
+    def losses_for_round(
+        self,
+        round_index: int,
+        senders: Sequence[ProcessId],
+        receivers: Sequence[ProcessId],
+    ) -> Mapping[ProcessId, AbstractSet[ProcessId]]:
+        # Each receiver's substream is independent, so the batched path is
+        # just the per-receiver resolution — already normalized (drop sets
+        # are subsets of senders minus the receiver by construction).
+        losses = self.losses
+        return ResolvedRoundLosses(
+            (pid, losses(round_index, senders, pid)) for pid in receivers
+        )
 
 
 class PartitionLoss(LossAdversary):
@@ -230,6 +500,45 @@ class PartitionLoss(LossAdversary):
         intra_lost = self.intra.losses(round_index, same_group, receiver)
         return cross | set(intra_lost)
 
+    def losses_for_round(
+        self,
+        round_index: int,
+        senders: Sequence[ProcessId],
+        receivers: Sequence[ProcessId],
+    ) -> Mapping[ProcessId, AbstractSet[ProcessId]]:
+        if self.until_round is not None and round_index > self.until_round:
+            return dict.fromkeys(receivers, _NO_LOSS)
+        group_of = self._group_of
+        by_group: Dict[Optional[int], List[ProcessId]] = {}
+        for pid in receivers:
+            by_group.setdefault(group_of.get(pid), []).append(pid)
+        out: Dict[ProcessId, AbstractSet[ProcessId]] = {}
+        for group, members in by_group.items():
+            # One cross-group drop set per group, shared by all its
+            # members (a receiver's own group is its own, so the shared
+            # set never needs a self exemption), and one delegated intra
+            # resolution per group instead of one per receiver.
+            cross = frozenset(
+                s for s in senders if group_of.get(s) != group
+            )
+            same_group = [
+                s for s in senders if group_of.get(s) == group
+            ]
+            intra_map = self.intra.losses_for_round(
+                round_index, same_group, members
+            )
+            for pid in members:
+                intra_lost = intra_map[pid]
+                if intra_lost:
+                    combined = set(cross)
+                    combined.update(
+                        s for s in intra_lost if s != pid
+                    )
+                    out[pid] = combined
+                else:
+                    out[pid] = cross
+        return out
+
     def reset(self) -> None:
         self.intra.reset()
 
@@ -260,6 +569,18 @@ class AlphaLoss(LossAdversary):
             return _NO_LOSS
         return {s for s in senders if s != receiver}
 
+    def losses_for_round(
+        self,
+        round_index: int,
+        senders: Sequence[ProcessId],
+        receivers: Sequence[ProcessId],
+    ) -> Mapping[ProcessId, AbstractSet[ProcessId]]:
+        if len(senders) <= 1:
+            return dict.fromkeys(receivers, _NO_LOSS)
+        # Contention: everyone keeps only its own message.  Share the full
+        # sender set; the engine restores each sender's self-delivery.
+        return dict.fromkeys(receivers, frozenset(senders))
+
     @property
     def r_cf(self) -> int:
         return 1
@@ -271,14 +592,31 @@ class ScriptedLoss(LossAdversary):
     ``fn(round_index, senders, receiver)`` returns the senders dropped at
     ``receiver``.  Lower-bound constructions use this to realise exactly
     the receive behaviour their proofs prescribe.
+
+    ``round_fn(round_index, senders, receivers)``, if given instead, is
+    the batched analogue: it returns the whole round's receiver -> drop
+    set mapping in one call.  Exactly one of the two must be provided.
     """
 
     def __init__(
         self,
-        fn: Callable[[int, Sequence[ProcessId], ProcessId], AbstractSet[ProcessId]],
+        fn: Optional[
+            Callable[[int, Sequence[ProcessId], ProcessId], AbstractSet[ProcessId]]
+        ] = None,
         r_cf: Optional[int] = None,
+        round_fn: Optional[
+            Callable[
+                [int, Sequence[ProcessId], Sequence[ProcessId]],
+                Mapping[ProcessId, AbstractSet[ProcessId]],
+            ]
+        ] = None,
     ) -> None:
+        if (fn is None) == (round_fn is None):
+            raise ConfigurationError(
+                "ScriptedLoss needs exactly one of fn / round_fn"
+            )
         self._fn = fn
+        self._round_fn = round_fn
         self._r_cf = r_cf
 
     def losses(
@@ -287,7 +625,32 @@ class ScriptedLoss(LossAdversary):
         senders: Sequence[ProcessId],
         receiver: ProcessId,
     ) -> AbstractSet[ProcessId]:
-        return self._fn(round_index, senders, receiver)
+        if self._fn is not None:
+            return self._fn(round_index, senders, receiver)
+        return self._round_fn(round_index, senders, [receiver])[receiver]
+
+    def losses_for_round(
+        self,
+        round_index: int,
+        senders: Sequence[ProcessId],
+        receivers: Sequence[ProcessId],
+    ) -> Mapping[ProcessId, AbstractSet[ProcessId]]:
+        if self._round_fn is not None:
+            return dict(self._round_fn(round_index, senders, receivers))
+        # Per-receiver script, batched by interning: scripts typically
+        # prescribe group-structured drop sets (the gamma compositions),
+        # so value-identical sets collapse to one shared object and the
+        # engine computes each group's surviving multiset once.
+        fn = self._fn
+        interned: Dict[FrozenSet[ProcessId], FrozenSet[ProcessId]] = {}
+        out: Dict[ProcessId, AbstractSet[ProcessId]] = {}
+        for pid in receivers:
+            lost = frozenset(fn(round_index, senders, pid))
+            if not lost:
+                out[pid] = _NO_LOSS
+                continue
+            out[pid] = interned.setdefault(lost, lost)
+        return out
 
     @property
     def r_cf(self) -> Optional[int]:
@@ -314,6 +677,54 @@ class ComposedLoss(LossAdversary):
         for component in self.components:
             dropped.update(component.losses(round_index, senders, receiver))
         return dropped
+
+    def losses_for_round(
+        self,
+        round_index: int,
+        senders: Sequence[ProcessId],
+        receivers: Sequence[ProcessId],
+    ) -> Mapping[ProcessId, AbstractSet[ProcessId]]:
+        # Delegate once per component per round, then union per receiver.
+        # When exactly one component drops anything at a receiver, its set
+        # object is passed through unchanged, preserving any aliasing the
+        # component established.
+        maps = [
+            c.losses_for_round(round_index, senders, receivers)
+            for c in self.components
+        ]
+        if len(maps) == 1:
+            return maps[0]
+        out: Dict[ProcessId, AbstractSet[ProcessId]] = {}
+        for pid in receivers:
+            first: Optional[AbstractSet[ProcessId]] = None
+            union: Optional[Set[ProcessId]] = None
+            omitted = False
+            for m in maps:
+                lost = m.get(pid)
+                if lost is None:
+                    # A component broke the batched contract by omitting
+                    # this receiver; propagate the omission so the
+                    # engine reports it as a ModelViolation instead of
+                    # crashing here with a bare KeyError.
+                    omitted = True
+                    break
+                if not lost:
+                    continue
+                if first is None:
+                    first = lost
+                else:
+                    if union is None:
+                        union = set(first)
+                    union.update(lost)
+            if omitted:
+                continue
+            if union is not None:
+                out[pid] = union
+            elif first is not None:
+                out[pid] = first
+            else:
+                out[pid] = _NO_LOSS
+        return out
 
     def reset(self) -> None:
         for component in self.components:
@@ -344,6 +755,16 @@ class EventualCollisionFreedom(LossAdversary):
         if round_index >= self._r_cf and len(senders) == 1:
             return _NO_LOSS
         return self.inner.losses(round_index, senders, receiver)
+
+    def losses_for_round(
+        self,
+        round_index: int,
+        senders: Sequence[ProcessId],
+        receivers: Sequence[ProcessId],
+    ) -> Mapping[ProcessId, AbstractSet[ProcessId]]:
+        if round_index >= self._r_cf and len(senders) == 1:
+            return dict.fromkeys(receivers, _NO_LOSS)
+        return self.inner.losses_for_round(round_index, senders, receivers)
 
     def reset(self) -> None:
         self.inner.reset()

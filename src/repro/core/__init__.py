@@ -38,6 +38,7 @@ from .multiset import Multiset, multiset_union
 from .process import Process, ScriptedProcess, SilentProcess
 from .records import (
     ExecutionResult,
+    JsonlSink,
     RecordPolicy,
     RoundRecord,
     RoundSummary,
@@ -66,7 +67,7 @@ __all__ = [
     "Environment",
     "ExecutionEngine", "run_algorithm", "run_consensus",
     "ExecutionResult", "RecordPolicy", "RoundRecord", "RoundSummary",
-    "TransmissionEntry", "indistinguishable",
+    "JsonlSink", "TransmissionEntry", "indistinguishable",
     "ConsensusReport", "evaluate",
     "check_agreement", "check_strong_validity", "check_uniform_validity",
     "check_termination",

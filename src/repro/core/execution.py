@@ -9,8 +9,14 @@ One engine round performs, in order:
 3. every live, non-halted process produces its message via ``msg_A``
    (processes crashing *after send* still broadcast; *before send* they
    are silent — both timings are legal resolutions of constraint 2);
-4. the loss adversary chooses, per receiver, which other senders' messages
-   are lost; self-delivery is unconditional (constraint 5);
+4. the loss adversary resolves the whole round's losses in one batched
+   ``losses_for_round`` call (receiver -> dropped senders; the base class
+   falls back to per-receiver ``losses`` for third-party adversaries);
+   self-delivery is unconditional (constraint 5).  Receivers aliased to
+   the same drop-set object share one surviving-multiset computation,
+   and normalized (``ResolvedRoundLosses``) mappings skip per-element
+   sender/self filtering — see :mod:`repro.adversary.loss` for the
+   batched contract;
 5. the collision detector, seeing only the counts ``(c, T)`` exactly as
    Definition 6 prescribes, issues per-process advice;
 6. surviving processes transition on ``(N_r[i], D_r[i], W_r[i])``;
@@ -39,8 +45,9 @@ rounds match round for round — but retains different amounts of it:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, Optional, Union
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
+from ..adversary.loss import ResolvedRoundLosses
 from ..core.errors import ConfigurationError, ModelViolation
 from .algorithm import Algorithm, ConsensusAlgorithm
 from .environment import Environment
@@ -89,9 +96,12 @@ class ExecutionEngine:
         self._summaries: List[RoundSummary] = []
         self._crashed: Dict[ProcessId, int] = {}
         self._round = 0
-        # Cached live-index list, updated only when crashes commit; the
-        # hot path must not rebuild it every round.
+        # Cached live-index list and set, updated only when crashes
+        # commit; the hot path must not rebuild them every round.  The
+        # set backs C-speed keys-view completeness checks on advice maps.
         self._live: List[ProcessId] = list(environment.indices)
+        self._live_set: frozenset = frozenset(environment.indices)
+        self._indices_set: frozenset = frozenset(environment.indices)
 
     # ------------------------------------------------------------------
     @property
@@ -137,8 +147,8 @@ class ExecutionEngine:
             # mutate the manager's own dict.  The streaming no-crash path
             # uses the manager's map as-is.
             cm_advice = dict(cm_advice)
-        if any(pid not in cm_advice for pid in live_before):
-            missing = set(live_before) - set(cm_advice)
+        if not self._live_set <= cm_advice.keys():
+            missing = self._live_set - cm_advice.keys()
             raise ModelViolation(
                 f"contention manager omitted advice for {sorted(missing)}"
             )
@@ -155,32 +165,56 @@ class ExecutionEngine:
         senders: List[ProcessId] = []
         inactive = set(crash_after_send)
         halted_live: List[ProcessId] = []
-        for pid in indices:
-            if pid in crashed or pid in crash_before_send:
-                messages[pid] = None
-                inactive.add(pid)
-                continue
-            proc = processes[pid]
-            if proc._halted:
-                messages[pid] = None
-                inactive.add(pid)
-                if pid not in crash_after_send:
+        if not crashed and not crash_before_send and not crash_after_send:
+            # Crash-free round (the overwhelmingly common case): no
+            # per-index crash membership tests.
+            for pid in indices:
+                proc = processes[pid]
+                if proc._halted:
+                    messages[pid] = None
+                    inactive.add(pid)
                     halted_live.append(pid)
-                continue
-            m = proc.message(cm_advice[pid])
-            messages[pid] = m
-            if m is not None:
-                senders.append(pid)
+                    continue
+                m = proc.message(cm_advice[pid])
+                messages[pid] = m
+                if m is not None:
+                    senders.append(pid)
+        else:
+            for pid in indices:
+                if pid in crashed or pid in crash_before_send:
+                    messages[pid] = None
+                    inactive.add(pid)
+                    continue
+                proc = processes[pid]
+                if proc._halted:
+                    messages[pid] = None
+                    inactive.add(pid)
+                    if pid not in crash_after_send:
+                        halted_live.append(pid)
+                    continue
+                m = proc.message(cm_advice[pid])
+                messages[pid] = m
+                if m is not None:
+                    senders.append(pid)
 
-        # (4) Loss resolution and receive multisets.  The round's full
-        # broadcast multiset is built once; each receiver's multiset is
-        # derived by decrementing its (typically small) lost set rather
-        # than rescanning every sender, and loss-free receivers share the
-        # full multiset outright (Multiset is immutable, so sharing is
-        # safe).  The fast path additionally skips multiset construction
-        # for processes that will not transition — the detector only ever
-        # needs the counts (Definition 6).
-        losses = env.loss.losses
+        # (4) Loss resolution and receive multisets.  One batched
+        # ``losses_for_round`` call resolves the whole round (the base
+        # class falls back to per-receiver ``losses`` for third-party
+        # adversaries).  The round's full broadcast multiset is built
+        # once; loss-free receivers share it outright (Multiset is
+        # immutable, so sharing is safe).  Receivers mapped to the *same*
+        # drop-set object (shared-set aliasing, e.g. SilenceLoss) have
+        # their surviving multiset computed once and reused, with
+        # self-delivery restored per receiver.  Normalized mappings
+        # (``ResolvedRoundLosses``: drop sets already exclude the
+        # receiver and contain only senders) skip per-element filtering
+        # entirely — ``len(lost)`` is the loss count — and any breach of
+        # that promise (a receiver dropping its own message, a non-sender
+        # in a drop set) raises ModelViolation.  The fast path skips
+        # multiset construction for processes that will not transition —
+        # the detector only ever needs the counts (Definition 6).
+        lost_map = env.loss.losses_for_round(r, senders, indices)
+        normalized = type(lost_map) is ResolvedRoundLosses
         counts: Dict[ProcessId, int] = {}
         received: Dict[ProcessId, Multiset] = {}
         base_counts: Dict[Message, int] = {}
@@ -190,69 +224,155 @@ class ExecutionEngine:
             base_counts[m] = base_counts.get(m, 0) + 1
         total = len(senders)
         full_round_ms = Multiset._from_counts_unchecked(base_counts, total)
+        single = len(base_counts) == 1
+        if single:
+            (only_message,) = base_counts
+        # Per-round memo tables for shared work.  ``shared_cache`` maps
+        # id(drop set) -> (set, kept, counts-dict, lazily built multiset)
+        # computed *without* any self exemption; ``plus_cache`` and
+        # ``single_cache`` memoise the small per-receiver adjustments
+        # (restoring one own message / one kept-count bucket).  Keying by
+        # id() is safe because ``lost_map`` keeps every set alive for the
+        # duration of the loop.
+        shared_cache: Dict[int, list] = {}
+        plus_cache: Dict[Tuple[int, Message], Multiset] = {}
+        single_cache: Dict[int, Multiset] = {}
+        always_multiset = full or not inactive
         for pid in indices:
-            lost = losses(r, senders, pid)
-            if type(lost) is not set and not isinstance(lost, frozenset):
-                # The decrement loop below assumes no duplicates; coerce
-                # annotation-violating adversaries (e.g. a ScriptedLoss
-                # callback returning a list) instead of silently
-                # double-counting their repeats.
-                lost = set(lost)
-            needs_multiset = full or pid not in inactive
-            if lost:
-                if len(base_counts) == 1:
-                    # Single distinct message this round (the common case
-                    # for value-echo protocol phases): count survivors
-                    # without per-loss dict surgery.
-                    kept = total
-                    for s in lost:
-                        if s != pid and s in sender_set:
-                            kept -= 1
-                    counts[pid] = kept
-                    if needs_multiset:
-                        (only,) = base_counts
+            lost = lost_map.get(pid)
+            if lost is None:
+                raise ModelViolation(
+                    f"loss adversary omitted receiver {pid} from its "
+                    "round resolution"
+                )
+            needs_multiset = always_multiset or pid not in inactive
+            if not lost:
+                counts[pid] = total
+                if needs_multiset:
+                    received[pid] = full_round_ms
+                continue
+            if normalized:
+                # Trusted shape: lost is a subset of senders excluding
+                # pid.  Both halves of the promise are enforced before
+                # any count is derived from len(lost), so a breach is
+                # loud in every branch (single- or multi-message,
+                # multiset needed or not).
+                if pid in lost:
+                    raise ModelViolation(
+                        f"batched loss adversary dropped {pid}'s own "
+                        f"message at itself (self-delivery is "
+                        "unconditional)"
+                        if messages[pid] is not None
+                        else f"batched loss adversary listed non-sender "
+                        f"{pid} in its own drop set"
+                    )
+                if not lost <= sender_set:
+                    raise ModelViolation(
+                        f"normalized drop set for {pid} contains "
+                        f"non-senders {sorted(set(lost) - sender_set, key=repr)}"
+                    )
+                kept = total - len(lost)
+                counts[pid] = kept
+                if not needs_multiset:
+                    continue
+                if single:
+                    ms = single_cache.get(kept)
+                    if ms is None:
                         ms = Multiset._from_counts_unchecked(
-                            {only: kept} if kept else {}, kept
+                            {only_message: kept} if kept else {}, kept
                         )
-                        if messages[pid] is not None and kept == 0:
-                            raise ModelViolation(
-                                f"broadcaster {pid} failed to receive its "
-                                "own message"
-                            )
-                        received[pid] = ms
+                        single_cache[kept] = ms
+                    received[pid] = ms
                     continue
                 cnt = dict(base_counts)
-                kept = total
                 for s in lost:
-                    if s == pid or s not in sender_set:
-                        # Self-delivery is unconditional; non-broadcasters
-                        # have nothing to lose.
-                        continue
                     m = messages[s]
                     left = cnt[m] - 1
                     if left:
                         cnt[m] = left
                     else:
                         del cnt[m]
-                    kept -= 1
+                received[pid] = Multiset._from_counts_unchecked(cnt, kept)
+                continue
+            # Untrusted mapping: resolve via the shared-set cache.  The
+            # cached entry drops *every* sender in the set (no self
+            # exemption), so it is receiver-independent and reusable
+            # across aliases; each receiver then restores its own
+            # message if needed.
+            if type(lost) is not set and not isinstance(lost, frozenset):
+                lost = set(lost)
+            key = id(lost)
+            entry = shared_cache.get(key)
+            if entry is None:
+                if single:
+                    kept_excl = total
+                    for s in lost:
+                        if s in sender_set:
+                            kept_excl -= 1
+                    entry = [lost, kept_excl, None, None]
+                else:
+                    cnt_excl = dict(base_counts)
+                    kept_excl = total
+                    for s in lost:
+                        if s not in sender_set:
+                            continue
+                        m = messages[s]
+                        left = cnt_excl[m] - 1
+                        if left:
+                            cnt_excl[m] = left
+                        else:
+                            del cnt_excl[m]
+                        kept_excl -= 1
+                    entry = [lost, kept_excl, cnt_excl, None]
+                shared_cache[key] = entry
+            kept_excl = entry[1]
+            own = messages[pid]
+            if own is not None and pid in entry[0]:
+                # This receiver broadcast and the (shared) drop set names
+                # it: self-delivery is unconditional, so add its own
+                # message back.
+                kept = kept_excl + 1
                 counts[pid] = kept
                 if needs_multiset:
-                    ms = Multiset._from_counts_unchecked(cnt, kept)
-                    if messages[pid] is not None and messages[pid] not in ms:
-                        raise ModelViolation(
-                            f"broadcaster {pid} failed to receive its own "
-                            "message"
-                        )
+                    pkey = (key, own)
+                    ms = plus_cache.get(pkey)
+                    if ms is None:
+                        if single:
+                            ms = Multiset._from_counts_unchecked(
+                                {only_message: kept}, kept
+                            )
+                        else:
+                            cnt = dict(entry[2])
+                            cnt[own] = cnt.get(own, 0) + 1
+                            ms = Multiset._from_counts_unchecked(cnt, kept)
+                        plus_cache[pkey] = ms
                     received[pid] = ms
             else:
-                counts[pid] = total
+                counts[pid] = kept_excl
                 if needs_multiset:
-                    received[pid] = full_round_ms
+                    ms = entry[3]
+                    if ms is None:
+                        if single:
+                            ms = Multiset._from_counts_unchecked(
+                                {only_message: kept_excl}
+                                if kept_excl else {},
+                                kept_excl,
+                            )
+                        else:
+                            ms = Multiset._from_counts_unchecked(
+                                entry[2], kept_excl
+                            )
+                        entry[3] = ms
+                    received[pid] = ms
 
-        # (5) Collision-detector advice from counts only.
-        cd_advice = dict(env.detector.advise(r, len(senders), counts))
-        if any(pid not in cd_advice for pid in indices):
-            missing = set(indices) - set(cd_advice)
+        # (5) Collision-detector advice from counts only.  The defensive
+        # copy is only needed when the map outlives the round (FULL
+        # retains it in the record).
+        cd_advice = env.detector.advise(r, len(senders), counts)
+        if full:
+            cd_advice = dict(cd_advice)
+        if not self._indices_set <= cd_advice.keys():
+            missing = self._indices_set - cd_advice.keys()
             raise ModelViolation(
                 f"collision detector omitted advice for {sorted(missing)}"
             )
@@ -263,9 +383,11 @@ class ExecutionEngine:
         decided_during: Dict[ProcessId, Value] = {}
         for pid in halted_live:
             processes[pid]._advance_round()
-        for pid in indices:
-            if pid in inactive:
-                continue
+        active_pids = (
+            indices if not inactive
+            else [pid for pid in indices if pid not in inactive]
+        )
+        for pid in active_pids:
             proc = processes[pid]
             # Direct slot reads instead of the has_decided/decision
             # properties: this loop runs once per live process per round.
@@ -275,12 +397,13 @@ class ExecutionEngine:
             if not already_decided and proc._decision is not _UNDECIDED:
                 decided_during[pid] = proc._decision
 
-        # Commit crashes and refresh the cached live list.
+        # Commit crashes and refresh the cached live list/set.
         newly_crashed = crash_before_send | crash_after_send
         if newly_crashed:
             for pid in newly_crashed:
                 crashed[pid] = r
             self._live = [i for i in self._live if i not in newly_crashed]
+            self._live_set = self._live_set - newly_crashed
 
         # (7) Channel feedback and bookkeeping.
         env.contention.observe(r, len(senders))
@@ -387,14 +510,22 @@ def run_algorithm(
     max_rounds: int,
     until_all_decided: bool = True,
     record_policy: RecordPolicy = RecordPolicy.FULL,
+    observer: Optional[RoundObserver] = None,
 ) -> ExecutionResult:
-    """Instantiate ``algorithm`` over the environment's indices and run."""
+    """Instantiate ``algorithm`` over the environment's indices and run.
+
+    ``observer`` (e.g. a :class:`~repro.core.records.JsonlSink`) receives
+    each round's artifact as it is produced — the streaming companion to
+    ``RecordPolicy.SUMMARY``/``NONE``.
+    """
     environment.reset()
     processes = algorithm.spawn_all(environment.indices)
     engine = ExecutionEngine(
         environment, processes, record_policy=record_policy
     )
-    return engine.run(max_rounds, until_all_decided=until_all_decided)
+    return engine.run(
+        max_rounds, until_all_decided=until_all_decided, observer=observer
+    )
 
 
 def run_consensus(
@@ -404,6 +535,7 @@ def run_consensus(
     max_rounds: int,
     until_all_decided: bool = True,
     record_policy: RecordPolicy = RecordPolicy.FULL,
+    observer: Optional[RoundObserver] = None,
 ) -> ExecutionResult:
     """Run a consensus algorithm with the given initial-value assignment."""
     if set(initial_values) != set(environment.indices):
@@ -415,4 +547,6 @@ def run_consensus(
     engine = ExecutionEngine(
         environment, processes, initial_values, record_policy=record_policy
     )
-    return engine.run(max_rounds, until_all_decided=until_all_decided)
+    return engine.run(
+        max_rounds, until_all_decided=until_all_decided, observer=observer
+    )

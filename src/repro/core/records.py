@@ -24,7 +24,18 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+import json
+from typing import (
+    Dict,
+    FrozenSet,
+    IO,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from .errors import ConfigurationError
 from .multiset import Multiset
@@ -61,6 +72,59 @@ class RoundSummary:
     broadcast_count: int
     crashed_during: FrozenSet[ProcessId]
     decided_during: Mapping[ProcessId, Value]
+
+
+class JsonlSink:
+    """A round observer that streams summaries to a JSON Lines file.
+
+    Pass an instance as the ``observer`` of
+    :meth:`~repro.core.execution.ExecutionEngine.run` (or the
+    ``run_algorithm``/``run_consensus`` helpers): each round's artifact
+    is serialised to one JSON object per line and written out
+    immediately, so million-round campaigns keep O(1) memory even when
+    callers also want a durable per-round trail.  Both
+    :class:`RoundSummary` and :class:`RoundRecord` artifacts are
+    accepted; a record is reduced to its summary fields (the full
+    multisets stay in the execution result under ``FULL``).
+
+    The sink is also a context manager; values that are not JSON types
+    are serialised via ``str`` so arbitrary message/value payloads never
+    abort a campaign mid-run.
+    """
+
+    def __init__(self, path: str, mode: str = "w") -> None:
+        self.path = path
+        self._fh: Optional[IO[str]] = open(path, mode)
+        self.rounds_written = 0
+
+    def __call__(self, artifact: Union["RoundRecord", "RoundSummary"]) -> None:
+        if self._fh is None:
+            raise ConfigurationError(
+                f"JsonlSink({self.path!r}) is closed; cannot stream rounds"
+            )
+        payload = {
+            "round": artifact.round,
+            # RoundSummary stores the count; RoundRecord derives it.
+            "broadcast_count": artifact.broadcast_count,
+            "crashed_during": sorted(artifact.crashed_during, key=repr),
+            "decided_during": {
+                repr(pid): value
+                for pid, value in artifact.decided_during.items()
+            },
+        }
+        self._fh.write(json.dumps(payload, default=str) + "\n")
+        self.rounds_written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 @dataclasses.dataclass(frozen=True)

@@ -104,9 +104,11 @@ class ParametricCollisionDetector(CollisionDetector):
         c = broadcasters
         # The completeness/accuracy obligations depend only on (c, t), and
         # c is fixed for the round: resolve each distinct t once.  Free
-        # choices stay per-process — policies may be pid- or RNG-driven.
+        # choices stay per-process unless the policy declares itself
+        # pid-independent, in which case they memoise per t as well.
         obligation: Dict[int, Optional[CollisionAdvice]] = {}
         free_choice = self.policy.free_choice
+        memo_free = self.policy.pid_independent
         for pid, t in received_counts.items():
             if t > c:
                 raise ModelViolation(
@@ -121,6 +123,8 @@ class ParametricCollisionDetector(CollisionDetector):
                 self.accuracy, round_index, self.r_acc, c, t
             ):
                 obliged = obligation[t] = CollisionAdvice.NULL
+            elif memo_free:
+                obliged = obligation[t] = free_choice(round_index, pid, c, t)
             else:
                 obliged = obligation[t] = None
             advice[pid] = (

@@ -27,6 +27,12 @@ from ..core.types import CollisionAdvice, ProcessId
 class DetectorPolicy(abc.ABC):
     """Chooses advice for (round, process) pairs left free by the class."""
 
+    #: True when ``free_choice`` depends only on ``(round_index, c, t)``
+    #: — never on the pid and never on mutable/RNG state — so a detector
+    #: may compute one answer per distinct ``t`` per round and fan it out
+    #: to every process.  Conservative default: per-pid evaluation.
+    pid_independent = False
+
     @abc.abstractmethod
     def free_choice(
         self, round_index: int, pid: ProcessId, c: int, t: int
@@ -44,6 +50,8 @@ class BenignPolicy(DetectorPolicy):
     like a perfect detector.  Used as the default for examples.
     """
 
+    pid_independent = True
+
     def free_choice(
         self, round_index: int, pid: ProcessId, c: int, t: int
     ) -> CollisionAdvice:
@@ -58,6 +66,8 @@ class SilentPolicy(DetectorPolicy):
     Theorem 6.
     """
 
+    pid_independent = True
+
     def free_choice(
         self, round_index: int, pid: ProcessId, c: int, t: int
     ) -> CollisionAdvice:
@@ -68,6 +78,8 @@ class NoisyPolicy(DetectorPolicy):
     """Report a collision whenever allowed — the *maximal* false-positive
     detector.  With ``AccuracyMode.NEVER`` this realises the paper's
     trivial ``NOCD`` detector that returns ``±`` everywhere."""
+
+    pid_independent = True
 
     def free_choice(
         self, round_index: int, pid: ProcessId, c: int, t: int
@@ -82,6 +94,8 @@ class SpuriousUntilPolicy(DetectorPolicy):
     bad as the class permits: every free choice before ``quiet_round`` is a
     collision report.
     """
+
+    pid_independent = True
 
     def __init__(self, quiet_round: int) -> None:
         self.quiet_round = quiet_round

@@ -332,14 +332,21 @@ def consensus_sweep_cell(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     ``values`` (|V|, default 16), ``cst`` (default 3), ``detector`` (a
     Figure 1 class name, default ``"0-OAC"``), ``loss_rate`` (default
     0.3), ``record_policy`` (``"full"``/``"summary"``/``"none"``, default
-    summary), ``seed`` (overrides the derived per-cell seed).  Returns a
-    picklable dict with decisions, decision rounds, round count, and the
-    consensus report's verdicts.
+    summary), ``seed`` (overrides the derived per-cell seed), and
+    ``sink_dir`` (a directory path: stream every round's summary to
+    ``<sink_dir>/cell-<seed>-<tag>.jsonl`` via a
+    :class:`~repro.core.records.JsonlSink`, so even ``NONE``-policy
+    campaigns leave a durable per-round trail without holding rounds in
+    memory; ``tag`` is derived from the full coordinate dict, so cells
+    sharing an explicit ``seed`` axis value still get distinct files —
+    parallel workers never clobber each other).  Returns a picklable
+    dict with decisions, decision rounds, round count, and the consensus
+    report's verdicts.
     """
     from ..algorithms.alg2 import algorithm_2, termination_bound
     from ..core.consensus import evaluate
     from ..core.execution import run_consensus
-    from ..core.records import RecordPolicy
+    from ..core.records import JsonlSink, RecordPolicy
     from ..detectors.classes import get_class
     from .scenarios import ecf_environment
 
@@ -350,17 +357,34 @@ def consensus_sweep_cell(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     detector = get_class(str(params.get("detector", "0-OAC")))
     policy = RecordPolicy(str(params.get("record_policy", "summary")))
     seed = int(params.get("seed", seed))
+    sink_dir = params.get("sink_dir")
 
     values = list(range(vc))
     env = ecf_environment(n, detector, cst=cst, loss_rate=loss_rate, seed=seed)
     assignment = {i: values[(i * 7 + seed) % vc] for i in env.indices}
     bound = termination_bound(cst, vc)
-    result = run_consensus(
-        env, algorithm_2(values), assignment,
-        max_rounds=bound + 20, record_policy=policy,
-    )
+    sink = None
+    sink_path = None
+    if sink_dir:
+        os.makedirs(str(sink_dir), exist_ok=True)
+        # Distinguish cells that share a seed (e.g. a fixed seed axis):
+        # fold every coordinate into the filename tag.
+        tag = cell_seed(seed, **params)
+        sink_path = os.path.join(
+            str(sink_dir), f"cell-{seed}-{tag:08x}.jsonl"
+        )
+        sink = JsonlSink(sink_path)
+    try:
+        result = run_consensus(
+            env, algorithm_2(values), assignment,
+            max_rounds=bound + 20, record_policy=policy,
+            observer=sink,
+        )
+    finally:
+        if sink is not None:
+            sink.close()
     report = evaluate(result, by_round=bound)
-    return {
+    payload = {
         "decisions": dict(result.decisions),
         "decision_rounds": dict(result.decision_rounds),
         "rounds": result.rounds,
@@ -368,3 +392,6 @@ def consensus_sweep_cell(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
         "agreement": report.agreement,
         "decision_round": result.last_decision_round(),
     }
+    if sink_path is not None:
+        payload["sink_path"] = sink_path
+    return payload

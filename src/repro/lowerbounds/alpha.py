@@ -31,7 +31,7 @@ from ..core.algorithm import ConsensusAlgorithm
 from ..core.environment import Environment
 from ..core.errors import ConfigurationError
 from ..core.execution import ExecutionEngine
-from ..core.records import ExecutionResult
+from ..core.records import ExecutionResult, RecordPolicy
 from ..core.types import ProcessId, Value
 from ..detectors.detector import ParametricCollisionDetector
 from ..detectors.policy import BenignPolicy
@@ -65,17 +65,26 @@ def alpha_execution(
     indices: Sequence[ProcessId],
     value: Value,
     rounds: int,
+    record_policy: RecordPolicy = RecordPolicy.FULL,
 ) -> ExecutionResult:
     """Run ``α_P(v)`` for exactly ``rounds`` rounds.
 
     The prefix is always completed in full (no early stop on decision):
     the counting lemmas compare fixed-length broadcast-count prefixes.
+
+    ``record_policy`` may be relaxed to ``SUMMARY`` by callers that only
+    consult broadcast-count sequences (Definition 22) — the pigeonhole
+    searches — dropping FULL retention for large sweeps.  Replays that
+    feed :func:`~repro.lowerbounds.compose.compose_alpha_executions`
+    need ``FULL`` (indistinguishability checks read per-round views).
     """
     environment = alpha_environment(indices)
     environment.reset()
     assignment = {i: value for i in environment.indices}
     processes = algorithm.instantiate(assignment)
-    engine = ExecutionEngine(environment, processes, assignment)
+    engine = ExecutionEngine(
+        environment, processes, assignment, record_policy=record_policy
+    )
     return engine.run(rounds, until_all_decided=False)
 
 
@@ -84,6 +93,7 @@ def beta_execution(
     indices: Sequence[ProcessId],
     value: Value,
     rounds: int,
+    record_policy: RecordPolicy = RecordPolicy.FULL,
 ) -> ExecutionResult:
     """Theorem 9's symmetric run: NoCM, total loss, perfect detection."""
     if not indices:
@@ -100,8 +110,28 @@ def beta_execution(
     environment.reset()
     assignment = {i: value for i in environment.indices}
     processes = algorithm.instantiate(assignment)
-    engine = ExecutionEngine(environment, processes, assignment)
+    engine = ExecutionEngine(
+        environment, processes, assignment, record_policy=record_policy
+    )
     return engine.run(rounds, until_all_decided=False)
+
+
+def raw_broadcast_counts(
+    result: ExecutionResult, through_round: int
+) -> Tuple[int, ...]:
+    """Per-round raw broadcaster counts under ``FULL`` *or* ``SUMMARY``.
+
+    The per-round ``c`` is all the counting arguments ever read, and both
+    retention policies keep it; only ``NONE`` (which keeps nothing per
+    round) is rejected, via the error raised by the records accessor.
+    """
+    if result.record_policy is RecordPolicy.SUMMARY:
+        return tuple(
+            s.broadcast_count for s in result.summaries[:through_round]
+        )
+    return tuple(
+        rec.broadcast_count for rec in result.records[:through_round]
+    )
 
 
 def binary_broadcast_sequence(
@@ -110,10 +140,7 @@ def binary_broadcast_sequence(
     """Theorem 9's binary broadcast sequence: 1 iff anyone broadcast."""
     return tuple(
         0 if c == 0 else 1
-        for c in (
-            rec.broadcast_count
-            for rec in result.records[:through_round]
-        )
+        for c in raw_broadcast_counts(result, through_round)
     )
 
 
@@ -121,6 +148,4 @@ def group_broadcast_counts(
     result: ExecutionResult, through_round: int
 ) -> Tuple[int, ...]:
     """Per-round raw broadcaster counts (used by the composition scripts)."""
-    return tuple(
-        rec.broadcast_count for rec in result.records[:through_round]
-    )
+    return raw_broadcast_counts(result, through_round)

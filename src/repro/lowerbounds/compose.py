@@ -36,7 +36,7 @@ from ..core.algorithm import ConsensusAlgorithm
 from ..core.environment import Environment
 from ..core.errors import ConfigurationError
 from ..core.execution import ExecutionEngine
-from ..core.records import ExecutionResult, indistinguishable
+from ..core.records import ExecutionResult, RecordPolicy, indistinguishable
 from ..core.types import CollisionAdvice, ProcessId, Value
 from ..detectors.detector import ParametricCollisionDetector
 from ..detectors.policy import CallbackPolicy
@@ -147,6 +147,16 @@ def compose_alpha_executions(
     """
     group_a = alpha_a.indices
     group_b = alpha_b.indices
+    for name, alpha in (("alpha_a", alpha_a), ("alpha_b", alpha_b)):
+        if alpha.record_policy is not RecordPolicy.FULL:
+            raise ConfigurationError(
+                f"{name} ran under RecordPolicy."
+                f"{alpha.record_policy.name}; the Lemma 23 composition "
+                "replays per-round views and checks Definition 12 "
+                "indistinguishability, which need FULL retention — "
+                "re-run the pigeonhole search with record_policy=FULL "
+                "for the pair being composed"
+            )
     if set(group_a) & set(group_b):
         raise ConfigurationError("alpha executions must use disjoint sets")
     if alpha_a.broadcast_count_sequence(k) != alpha_b.broadcast_count_sequence(k):

@@ -31,7 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.algorithm import ConsensusAlgorithm
 from ..core.errors import ConfigurationError
-from ..core.records import ExecutionResult
+from ..core.records import ExecutionResult, RecordPolicy
 from ..core.types import ProcessId, Value
 from .alpha import alpha_execution
 
@@ -83,19 +83,24 @@ def find_composable_pair(
     mode: str = "overlapping",
     max_subsets: int = 128,
     seed: int = 0,
+    record_policy: RecordPolicy = RecordPolicy.FULL,
 ) -> PrefixSearchResult:
     """Search for two alpha executions sharing a ``k``-round broadcast
     prefix, over disjoint index sets and distinct values.
 
     ``mode='disjoint'`` restricts the universe to Lemma 22's partition;
     ``mode='overlapping'`` ranges over all (sampled) n-subsets — the
-    universe Conjecture 1 proposes.
+    universe Conjecture 1 proposes.  The bucketing reads only broadcast
+    counts, so ``record_policy=RecordPolicy.SUMMARY`` works whenever the
+    returned pair is not fed to the Lemma 23 composition afterwards.
     """
     subsets = _subsets(id_space, n, mode, max_subsets, seed)
     buckets: Dict[Tuple, List[Candidate]] = {}
     for subset in subsets:
         for v in values:
-            result = alpha_execution(algorithm, subset, v, k)
+            result = alpha_execution(
+                algorithm, subset, v, k, record_policy=record_policy
+            )
             key = result.broadcast_count_sequence(k)
             for other in buckets.get(key, ()):
                 other_set, other_v, _ = other
@@ -120,18 +125,24 @@ def max_composable_prefix(
     k_limit: int = 24,
     max_subsets: int = 128,
     seed: int = 0,
+    record_policy: RecordPolicy = RecordPolicy.SUMMARY,
 ) -> int:
     """The longest ``k`` at which a composable pair still exists.
 
     Scans upward from 1; the first ``k`` with no pair ends the scan
     (prefix equality is monotone: a pair at ``k`` is a pair at every
     shorter prefix).
+
+    Only the *existence* of a pair is consulted, never its per-round
+    views, so the scan defaults to ``SUMMARY`` retention — the E15-style
+    sweeps over many ``|I|`` and ``k`` never hold full records.
     """
     best = 0
     for k in range(1, k_limit + 1):
         outcome = find_composable_pair(
             algorithm, id_space, n, values, k,
             mode=mode, max_subsets=max_subsets, seed=seed,
+            record_policy=record_policy,
         )
         if not outcome.found:
             break

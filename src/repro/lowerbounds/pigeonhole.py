@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.algorithm import ConsensusAlgorithm
 from ..core.errors import ConfigurationError
-from ..core.records import ExecutionResult
+from ..core.records import ExecutionResult, RecordPolicy
 from ..core.types import ProcessId, Value
 from .alpha import alpha_execution, beta_execution, binary_broadcast_sequence
 
@@ -67,6 +67,7 @@ def lemma21_find_pair(
     indices: Sequence[ProcessId],
     values: Sequence[Value],
     k: Optional[int] = None,
+    record_policy: RecordPolicy = RecordPolicy.FULL,
 ) -> Optional[Tuple[Value, Value, ExecutionResult, ExecutionResult]]:
     """Find ``v != v'`` whose alpha executions share a k-round BBCS.
 
@@ -75,12 +76,19 @@ def lemma21_find_pair(
     collision is guaranteed).  Returns the first colliding pair with the
     two execution prefixes, or ``None`` if every sequence is distinct
     (possible only for ``k`` above the bound).
+
+    The search itself only consults broadcast-count sequences, so large
+    sweeps may pass ``record_policy=RecordPolicy.SUMMARY`` and drop FULL
+    retention; keep the default when the returned executions feed the
+    Lemma 23 composition (it replays per-round views).
     """
     if k is None:
         k = lemma21_bound(len(values))
     buckets: Dict[Tuple, Tuple[Value, ExecutionResult]] = {}
     for v in values:
-        result = alpha_execution(algorithm, indices, v, k)
+        result = alpha_execution(
+            algorithm, indices, v, k, record_policy=record_policy
+        )
         key = result.broadcast_count_sequence(k)
         if key in buckets:
             other_v, other_result = buckets[key]
@@ -95,6 +103,7 @@ def lemma22_find_pair(
     n: int,
     values: Sequence[Value],
     k: Optional[int] = None,
+    record_policy: RecordPolicy = RecordPolicy.FULL,
 ) -> Optional[
     Tuple[
         Tuple[ProcessId, ...],
@@ -123,7 +132,9 @@ def lemma22_find_pair(
     buckets: Dict[Tuple, List[Tuple[Tuple[ProcessId, ...], Value, ExecutionResult]]] = {}
     for group in groups:
         for v in values:
-            result = alpha_execution(algorithm, group, v, k)
+            result = alpha_execution(
+                algorithm, group, v, k, record_policy=record_policy
+            )
             key = result.broadcast_count_sequence(k)
             for other_group, other_v, other_result in buckets.get(key, ()):
                 if other_group != group and other_v != v:
@@ -139,14 +150,21 @@ def theorem9_find_pair(
     indices: Sequence[ProcessId],
     values: Sequence[Value],
     k: Optional[int] = None,
+    record_policy: RecordPolicy = RecordPolicy.FULL,
 ) -> Optional[Tuple[Value, Value, ExecutionResult, ExecutionResult]]:
     """Find ``v != v'`` whose beta executions share a k-round *binary*
-    broadcast sequence (Theorem 9's counting step)."""
+    broadcast sequence (Theorem 9's counting step).
+
+    ``record_policy=RecordPolicy.SUMMARY`` suffices for the search: the
+    binary sequence is derived from broadcast counts alone.
+    """
     if k is None:
         k = theorem9_bound(len(values))
     buckets: Dict[Tuple, Tuple[Value, ExecutionResult]] = {}
     for v in values:
-        result = beta_execution(algorithm, indices, v, k)
+        result = beta_execution(
+            algorithm, indices, v, k, record_policy=record_policy
+        )
         key = binary_broadcast_sequence(result, k)
         if key in buckets:
             other_v, other_result = buckets[key]

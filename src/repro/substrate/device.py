@@ -22,7 +22,7 @@ import dataclasses
 from typing import AbstractSet, Dict, Mapping, Optional, Sequence
 
 from ..adversary.crash import CrashAdversary, NoCrashes
-from ..adversary.loss import LossAdversary
+from ..adversary.loss import LossAdversary, ResolvedRoundLosses
 from ..contention.backoff import BackoffContentionManager
 from ..core.algorithm import ConsensusAlgorithm
 from ..core.environment import Environment
@@ -74,6 +74,26 @@ class PhysicalLayer(LossAdversary, CollisionDetector):
         outcomes = self._outcomes(round_index, senders)
         decoded = set(outcomes[receiver].decoded)
         return {s for s in senders if s != receiver and s not in decoded}
+
+    def losses_for_round(
+        self,
+        round_index: int,
+        senders: Sequence[ProcessId],
+        receivers: Sequence[ProcessId],
+    ) -> Mapping[ProcessId, AbstractSet[ProcessId]]:
+        # One radio arbitration per round (already memoised for the
+        # detector's benefit); the per-receiver drop sets fall out of the
+        # cached outcomes without re-scanning state per call.  Each set is
+        # a subset of senders minus the receiver, so the mapping is
+        # normalized.
+        outcomes = self._outcomes(round_index, senders)
+        out = ResolvedRoundLosses()
+        for pid in receivers:
+            decoded = set(outcomes[pid].decoded)
+            out[pid] = {
+                s for s in senders if s != pid and s not in decoded
+            }
+        return out
 
     # -- CollisionDetector interface --------------------------------------
     def advise(

@@ -160,6 +160,51 @@ class MultihopLayer(LossAdversary, CollisionDetector):
         self._losses_by_round.setdefault(round_index, {})[receiver] = lost
         return lost
 
+    def losses_for_round(
+        self,
+        round_index: int,
+        senders: Sequence[ProcessId],
+        receivers: Sequence[ProcessId],
+    ):
+        """Whole-round resolution: one inner delegation per neighbourhood.
+
+        Receivers whose closed neighbourhoods see the *same* local sender
+        list share both the cross-neighbourhood drop set (``senders``
+        minus the local ones — receiver-independent, so one frozenset per
+        group) and a single batched call into the inner adversary.  On
+        uniform topologies (cliques, dense grids) this collapses the
+        per-receiver work of the legacy path to a handful of group-level
+        resolutions per round.
+        """
+        self._senders_by_round[round_index] = list(senders)
+        by_round = self._losses_by_round.setdefault(round_index, {})
+        network = self.network
+        groups: Dict[tuple, List[ProcessId]] = {}
+        for pid in receivers:
+            neighborhood = network.closed_neighborhood(pid)
+            local = tuple(s for s in senders if s in neighborhood)
+            groups.setdefault(local, []).append(pid)
+        out: Dict[ProcessId, AbstractSet[ProcessId]] = {}
+        inner = self.inner
+        senders_fs = frozenset(senders)
+        for local, members in groups.items():
+            cross = senders_fs - frozenset(local)
+            inner_map = (
+                inner.losses_for_round(round_index, list(local), members)
+                if inner is not None
+                else None
+            )
+            for pid in members:
+                inner_lost = inner_map[pid] if inner_map else None
+                if inner_lost:
+                    lost: AbstractSet[ProcessId] = set(cross)
+                    lost.update(s for s in inner_lost if s != pid)
+                else:
+                    lost = cross
+                out[pid] = lost
+                by_round[pid] = set(lost)
+        return out
+
     # -- CollisionDetector ----------------------------------------------------
     def advise(
         self,
