@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""E18 campaign benchmark: resumable matrix sweeps through the
+checkpointing :class:`~repro.experiments.campaign.CampaignRunner`.
+
+Runs the (n x detector x loss_rate x seed) consensus matrix with every
+finished cell committed to a sqlite ``campaign.db``, then reports cells
+per second and how much of the grid this pass actually had to run — a
+resumed campaign skips checkpointed cells entirely.  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_e18_campaign.py --quick \
+        --db campaign.db --out BENCH_e18.json
+
+CI's resume smoke exercises the durability story end to end::
+
+    # pass 1: interrupted (timeout kill and/or a --max-cells budget)
+    timeout 60 python benchmarks/bench_e18_campaign.py --quick \
+        --db campaign.db --max-cells 6 || true
+    # pass 2: resume to completion, dump the canonical report
+    python benchmarks/bench_e18_campaign.py --quick --db campaign.db \
+        --report-out resumed.json
+    # clean single pass in a fresh store
+    python benchmarks/bench_e18_campaign.py --quick --db clean.db \
+        --report-out clean.json
+    cmp resumed.json clean.json        # byte-identical or CI fails
+
+The report deliberately excludes wall-clock noise, so the comparison is
+exact; ``--quick`` shrinks the grid for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+
+from repro.experiments.campaign import CampaignRunner
+from repro.experiments.harness import consensus_sweep_cell
+
+
+def grid_axes(quick: bool) -> dict:
+    """The benchmark's sweep axes (trial indexes replicate seeds)."""
+    if quick:
+        return dict(
+            n=[3, 4], detector=["0-OAC"], loss_rate=[0.1, 0.3],
+            trial=[0, 1, 2], values=[16], record_policy=["summary"],
+        )
+    return dict(
+        n=[4, 8, 16], detector=["0-OAC", "maj-OAC"],
+        loss_rate=[0.1, 0.3, 0.5], trial=list(range(5)), values=[64],
+        record_policy=["summary"],
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small grid for CI smoke runs")
+    parser.add_argument("--db", default="campaign.db",
+                        help="sqlite checkpoint store (default campaign.db)")
+    parser.add_argument("--base-seed", type=int, default=0)
+    parser.add_argument("--processes", type=int, default=None,
+                        help="workers (0/1 = serial)")
+    parser.add_argument("--timeout-per-cell", type=float, default=None,
+                        help="per-cell wall-clock budget in seconds")
+    parser.add_argument("--max-cells", type=int, default=None,
+                        help="run at most this many pending cells then "
+                             "exit (deterministic interruption)")
+    parser.add_argument("--out", default=None,
+                        help="write the bench JSON artifact here")
+    parser.add_argument("--report-out", default=None,
+                        help="write the campaign's canonical JSON report "
+                             "here (byte-stable across interrupt/resume)")
+    args = parser.parse_args()
+
+    axes = grid_axes(args.quick)
+    runner = CampaignRunner(
+        consensus_sweep_cell,
+        db_path=args.db,
+        base_seed=args.base_seed,
+        processes=args.processes,
+        cell_timeout=args.timeout_per_cell,
+        extra_params={"sqlite_db": args.db},
+    )
+    total = len(runner.cells(**axes))
+    # Only done/timed_out cells are skipped on resume; failed cells are
+    # retried, so they count toward the pending work this pass runs
+    # (bounded by --max-cells).
+    already = sum(
+        1 for o in runner.outcomes(**axes)
+        if o.status in ("done", "timed_out")
+    )
+    pending = total - already
+    ran = pending if args.max_cells is None else min(pending, args.max_cells)
+
+    start = time.perf_counter()
+    outcomes = runner.resume(max_cells=args.max_cells, **axes)
+    elapsed = time.perf_counter() - start
+    statuses = {}
+    for outcome in outcomes:
+        statuses[outcome.status] = statuses.get(outcome.status, 0) + 1
+    print(f"grid: {total} cells | checkpointed before this pass: {already} "
+          f"| ran now: {ran} | store now holds: {len(outcomes)}")
+    print(f"statuses: {statuses}")
+    print(f"elapsed: {elapsed:.2f}s "
+          f"({ran / elapsed if elapsed > 0 else float('inf'):.1f} cells/s "
+          "this pass)")
+
+    if args.out:
+        artifact = {
+            "benchmark": "e18_campaign",
+            "quick": args.quick,
+            "python": platform.python_version(),
+            "db": os.path.abspath(args.db),
+            "grid_cells": total,
+            "skipped_checkpointed": already,
+            "ran_this_pass": ran,
+            "statuses": statuses,
+            "elapsed_seconds": elapsed,
+            "cells_per_second": (ran / elapsed) if elapsed > 0 else None,
+        }
+        with open(args.out, "w") as fh:
+            json.dump(artifact, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+
+    if args.report_out:
+        with open(args.report_out, "w") as fh:
+            fh.write(runner.report(**axes))
+            fh.write("\n")
+        print(f"wrote {args.report_out}")
+
+    incomplete = len(outcomes) < total
+    if incomplete:
+        print(f"campaign interrupted with {total - len(outcomes)} cells "
+              "pending; rerun the same command to resume")
+    return 3 if incomplete else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,6 +29,21 @@ def main() -> None:
     print("\nconsensus reached on:",
           next(iter(result.decided_values().values())))
 
+    # Scaling up: sweep a whole (n x detector x loss_rate x seed) grid
+    # as a *resumable campaign* — every finished cell is checkpointed in
+    # a sqlite store, so an interrupted run continues where it stopped:
+    #
+    #   python -m repro campaign --db campaign.db --quick
+    #   python -m repro campaign --db campaign.db --report
+    #
+    # or from code:
+    #
+    #   from repro.experiments import CampaignRunner, consensus_sweep_cell
+    #   runner = CampaignRunner(consensus_sweep_cell, db_path="campaign.db")
+    #   outcomes = runner.resume(n=[4, 8], detector=["0-OAC"],
+    #                            loss_rate=[0.1, 0.3], trial=range(3))
+    print("\nnext: resumable campaigns -> python -m repro campaign --help")
+
 
 if __name__ == "__main__":
     main()

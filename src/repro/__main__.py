@@ -5,16 +5,120 @@ Usage::
     python -m repro                 # list available experiments
     python -m repro all             # run the full evaluation
     python -m repro E3 E8           # run selected experiments
+
+    # launch (or resume — same idempotent operation) a checkpointed
+    # campaign over the (n x detector x loss_rate x seed) matrix:
+    python -m repro campaign --db campaign.db --quick
+    python -m repro campaign --db campaign.db --report   # no work, just JSON
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
+
+
+def _campaign_main(argv: list) -> int:
+    """The ``campaign`` subcommand: launch/resume/report a campaign."""
+    from .experiments.campaign import CampaignRunner
+    from .experiments.harness import consensus_sweep_cell
+    from .experiments.matrix import run_campaign_matrix
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro campaign",
+        description=(
+            "Run the E18 consensus matrix (n x detector x loss_rate x "
+            "seed) as a resumable campaign. Every finished cell is "
+            "checkpointed into the sqlite store, so re-running the same "
+            "command resumes an interrupted grid; completed cells are "
+            "read back, not re-simulated, and the merged outcomes are "
+            "byte-identical to an uninterrupted run."
+        ),
+        epilog=(
+            "examples: python -m repro campaign --db campaign.db --quick"
+            "  |  python -m repro campaign --db campaign.db --report"
+        ),
+    )
+    parser.add_argument("--db", default="campaign.db",
+                        help="sqlite checkpoint store (default campaign.db)")
+    parser.add_argument("--base-seed", type=int, default=0)
+    parser.add_argument("--n", type=int, nargs="+", default=None,
+                        help="process counts to sweep (default 4 8)")
+    parser.add_argument("--detector", nargs="+", default=None,
+                        help="detector class names to sweep "
+                             "(default 0-OAC maj-OAC)")
+    parser.add_argument("--loss-rate", type=float, nargs="+",
+                        default=None, help="(default 0.1 0.3)")
+    parser.add_argument("--seeds", type=int, default=None,
+                        help="replicate seeds per cell "
+                             "(default 3, or 2 under --quick)")
+    parser.add_argument("--values", type=int, default=16, help="|V|")
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink the grid for smoke runs")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-cell wall-clock timeout in seconds "
+                             "(overruns are checkpointed as timed_out)")
+    parser.add_argument("--processes", type=int, default=None,
+                        help="worker count (0/1 = serial in-process)")
+    parser.add_argument("--max-cells", type=int, default=None,
+                        help="run at most this many pending cells, then "
+                             "stop (deterministic interruption; resume "
+                             "later with the same command)")
+    parser.add_argument("--report", action="store_true",
+                        help="print the canonical JSON report of what "
+                             "the store holds and exit without running")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        explicit = [name for name, value in
+                    (("--n", args.n), ("--detector", args.detector),
+                     ("--loss-rate", args.loss_rate)) if value is not None]
+        if explicit:
+            parser.error(
+                f"--quick fixes the grid; drop {', '.join(explicit)} "
+                "or drop --quick"
+            )
+        ns, detectors = [3, 4], ["0-OAC"]
+        loss_rates = [0.1, 0.3]
+        # An explicit --seeds is honored even under --quick (it only
+        # shrinks/extends replicates, never the swept grid shape).
+        seeds = list(range(args.seeds if args.seeds is not None else 2))
+    else:
+        ns = args.n if args.n is not None else [4, 8]
+        detectors = (args.detector if args.detector is not None
+                     else ["0-OAC", "maj-OAC"])
+        loss_rates = (args.loss_rate if args.loss_rate is not None
+                      else [0.1, 0.3])
+        seeds = list(range(args.seeds if args.seeds is not None else 3))
+
+    if args.report:
+        runner = CampaignRunner(
+            consensus_sweep_cell, db_path=args.db,
+            base_seed=args.base_seed, processes=args.processes,
+            cell_timeout=args.timeout, extra_params={"sqlite_db": args.db},
+        )
+        print(runner.report(
+            n=ns, detector=detectors, loss_rate=loss_rates, trial=seeds,
+            values=[args.values], record_policy=["summary"],
+        ))
+        return 0
+
+    tables = run_campaign_matrix(
+        db_path=args.db, ns=ns, detectors=detectors,
+        loss_rates=loss_rates, seeds=seeds, base_seed=args.base_seed,
+        values=args.values, cell_timeout=args.timeout,
+        processes=args.processes, max_cells=args.max_cells,
+    )
+    for table in tables:
+        print(table.render())
+    return 0
 
 
 def main(argv: list) -> int:
     from .experiments import REGISTRY, render_all
 
+    if argv and argv[0] == "campaign":
+        return _campaign_main(argv[1:])
     if not argv:
         print("repro — Consensus and Collision Detectors (PODC 2005)")
         print("\nAvailable experiments:")
@@ -22,6 +126,8 @@ def main(argv: list) -> int:
             print(f"  {experiment.exp_id:<4} {experiment.title}")
             print(f"       ({experiment.paper_ref})")
         print("\nRun with: python -m repro all | <experiment ids>")
+        print("Campaigns: python -m repro campaign --db campaign.db "
+              "[--quick|--report] (resumable; see campaign --help)")
         return 0
     if argv == ["all"]:
         print(render_all())

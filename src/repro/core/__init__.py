@@ -42,6 +42,7 @@ from .records import (
     RecordPolicy,
     RoundRecord,
     RoundSummary,
+    SqliteSink,
     TransmissionEntry,
     indistinguishable,
 )
@@ -67,7 +68,7 @@ __all__ = [
     "Environment",
     "ExecutionEngine", "run_algorithm", "run_consensus",
     "ExecutionResult", "RecordPolicy", "RoundRecord", "RoundSummary",
-    "JsonlSink", "TransmissionEntry", "indistinguishable",
+    "JsonlSink", "SqliteSink", "TransmissionEntry", "indistinguishable",
     "ConsensusReport", "evaluate",
     "check_agreement", "check_strong_validity", "check_uniform_validity",
     "check_termination",

@@ -25,7 +25,9 @@ from __future__ import annotations
 import dataclasses
 import enum
 import json
+import sqlite3
 from typing import (
+    Any,
     Dict,
     FrozenSet,
     IO,
@@ -90,18 +92,30 @@ class JsonlSink:
     The sink is also a context manager; values that are not JSON types
     are serialised via ``str`` so arbitrary message/value payloads never
     abort a campaign mid-run.
+
+    The file is opened *lazily*, on the first artifact: an execution
+    that raises before completing round 1 (a misconfigured environment,
+    a model violation in the opening round) leaves no empty ``.jsonl``
+    behind on disk.  Note the flip side: laziness never touches the
+    path, so if an *earlier* run already wrote the same file, a retry
+    failing before round 1 leaves that stale file in place (the first
+    artifact of a successful retry truncates it, mode ``"w"``).
     """
 
     def __init__(self, path: str, mode: str = "w") -> None:
         self.path = path
-        self._fh: Optional[IO[str]] = open(path, mode)
+        self._mode = mode
+        self._fh: Optional[IO[str]] = None
+        self._closed = False
         self.rounds_written = 0
 
     def __call__(self, artifact: Union["RoundRecord", "RoundSummary"]) -> None:
-        if self._fh is None:
+        if self._closed:
             raise ConfigurationError(
                 f"JsonlSink({self.path!r}) is closed; cannot stream rounds"
             )
+        if self._fh is None:
+            self._fh = open(self.path, self._mode)
         payload = {
             "round": artifact.round,
             # RoundSummary stores the count; RoundRecord derives it.
@@ -119,12 +133,244 @@ class JsonlSink:
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+        self._closed = True
 
     def __enter__(self) -> "JsonlSink":
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+
+# ----------------------------------------------------------------------
+# The sqlite campaign store
+# ----------------------------------------------------------------------
+_CAMPAIGN_SCHEMA = """
+CREATE TABLE IF NOT EXISTS cells (
+    cell_tag   TEXT PRIMARY KEY,
+    cell_seed  INTEGER NOT NULL,
+    cell_index INTEGER NOT NULL,
+    params     TEXT NOT NULL,
+    status     TEXT NOT NULL,
+    payload    TEXT,
+    error      TEXT,
+    elapsed    REAL
+);
+CREATE TABLE IF NOT EXISTS round_summaries (
+    cell_seed       INTEGER NOT NULL,
+    round           INTEGER NOT NULL,
+    broadcast_count INTEGER NOT NULL,
+    crashed_during  TEXT NOT NULL,
+    decided_during  TEXT NOT NULL,
+    PRIMARY KEY (cell_seed, round)
+);
+"""
+
+
+def _pid_from_key(key: str) -> Any:
+    """Best-effort inverse of the JSON string-keying of process ids."""
+    try:
+        return int(key)
+    except (TypeError, ValueError):
+        return key
+
+
+class SqliteSink:
+    """A round observer backed by one sqlite ``campaign.db``.
+
+    The same observer protocol as :class:`JsonlSink` — pass an instance
+    as the ``observer`` of an engine run and each round's artifact
+    becomes one row of the ``round_summaries`` table, keyed on
+    ``(cell_seed, round)`` — plus the campaign checkpoint layer the
+    :class:`~repro.experiments.campaign.CampaignRunner` resumes from:
+    a ``cells`` table with one row per finished sweep cell (its canonical
+    coordinate tag, derived seed, grid index, status, and
+    canonically-serialised payload).
+
+    Concurrency: the database is opened in WAL journal mode with a busy
+    timeout, so parallel campaign workers (each holding its *own* sink —
+    sqlite connections must never cross process boundaries) can append
+    round summaries to one shared ``campaign.db`` while the parent
+    checkpoints cell rows.  Each write commits immediately: a killed
+    campaign loses at most the in-flight row.
+
+    Like :class:`JsonlSink`, the connection opens lazily on first use,
+    and the sink is a context manager.  Writing rounds requires a
+    ``cell_seed`` (the key rounds are filed under); store-only callers
+    (the campaign runner, report generators) may omit it.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        cell_seed: Optional[int] = None,
+        busy_timeout: float = 30.0,
+    ) -> None:
+        self.path = path
+        self.cell_seed = None if cell_seed is None else int(cell_seed)
+        self.busy_timeout = busy_timeout
+        self._conn: Optional[sqlite3.Connection] = None
+        self._closed = False
+        self.rounds_written = 0
+
+    # -- connection lifecycle ------------------------------------------
+    def _connect(self) -> sqlite3.Connection:
+        if self._closed:
+            raise ConfigurationError(
+                f"SqliteSink({self.path!r}) is closed; cannot touch the store"
+            )
+        if self._conn is None:
+            conn = sqlite3.connect(self.path, timeout=self.busy_timeout)
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.executescript(_CAMPAIGN_SCHEMA)
+            conn.commit()
+            self._conn = conn
+        return self._conn
+
+    def disconnect(self) -> None:
+        """Drop the underlying connection; the sink reopens lazily.
+
+        Call this before forking worker processes: an sqlite connection
+        must never cross a fork — the child's inherited descriptor can
+        release the parent's POSIX locks and corrupt WAL recovery.  The
+        campaign runner disconnects its store before every fan-out.
+        """
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def close(self) -> None:
+        self.disconnect()
+        self._closed = True
+
+    def __enter__(self) -> "SqliteSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- the observer protocol -----------------------------------------
+    def __call__(self, artifact: Union["RoundRecord", "RoundSummary"]) -> None:
+        if self.cell_seed is None:
+            raise ConfigurationError(
+                "SqliteSink needs a cell_seed to file round summaries "
+                "under; construct it as SqliteSink(path, cell_seed=...)"
+            )
+        conn = self._connect()
+        conn.execute(
+            "INSERT OR REPLACE INTO round_summaries "
+            "(cell_seed, round, broadcast_count, crashed_during, "
+            "decided_during) VALUES (?, ?, ?, ?, ?)",
+            (
+                self.cell_seed,
+                artifact.round,
+                artifact.broadcast_count,
+                json.dumps(
+                    sorted(artifact.crashed_during, key=repr), default=str
+                ),
+                json.dumps(
+                    {
+                        str(pid): value
+                        for pid, value in artifact.decided_during.items()
+                    },
+                    sort_keys=True,
+                    default=str,
+                ),
+            ),
+        )
+        conn.commit()
+        self.rounds_written += 1
+
+    def clear_rounds(self, cell_seed: int) -> None:
+        """Drop every round summary filed under ``cell_seed``.
+
+        The campaign runner calls this before (re-)running a cell, so
+        rounds streamed by a killed or failed earlier attempt can never
+        linger past the new attempt's final round.
+        """
+        conn = self._connect()
+        conn.execute(
+            "DELETE FROM round_summaries WHERE cell_seed = ?",
+            (int(cell_seed),),
+        )
+        conn.commit()
+
+    def read_summaries(
+        self, cell_seed: Optional[int] = None
+    ) -> List[RoundSummary]:
+        """Round summaries for one cell, ordered by round.
+
+        Values round-trip through JSON, so non-JSON message/value
+        payloads come back as their ``str`` forms (the same reduction
+        :class:`JsonlSink` applies on the way out).
+        """
+        key = self.cell_seed if cell_seed is None else int(cell_seed)
+        if key is None:
+            raise ConfigurationError(
+                "read_summaries needs a cell_seed (none bound to this sink)"
+            )
+        rows = self._connect().execute(
+            "SELECT round, broadcast_count, crashed_during, decided_during "
+            "FROM round_summaries WHERE cell_seed = ? ORDER BY round",
+            (key,),
+        ).fetchall()
+        return [
+            RoundSummary(
+                round=r,
+                broadcast_count=bc,
+                crashed_during=frozenset(
+                    _pid_from_key(p) for p in json.loads(crashed)
+                ),
+                decided_during={
+                    _pid_from_key(p): v
+                    for p, v in json.loads(decided).items()
+                },
+            )
+            for r, bc, crashed, decided in rows
+        ]
+
+    # -- campaign cell checkpoints -------------------------------------
+    def record_cell(
+        self,
+        tag: str,
+        seed: int,
+        index: int,
+        params_text: str,
+        status: str,
+        payload_text: Optional[str] = None,
+        error: Optional[str] = None,
+        elapsed: Optional[float] = None,
+    ) -> None:
+        """Checkpoint one finished cell (idempotent upsert, keyed on tag)."""
+        conn = self._connect()
+        conn.execute(
+            "INSERT OR REPLACE INTO cells "
+            "(cell_tag, cell_seed, cell_index, params, status, payload, "
+            "error, elapsed) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            (tag, int(seed), int(index), params_text, status,
+             payload_text, error, elapsed),
+        )
+        conn.commit()
+
+    def get_cells(self) -> Dict[str, Dict[str, Any]]:
+        """All checkpointed cells as ``tag -> row`` (elapsed excluded —
+        wall-clock noise never leaks into resume decisions or reports)."""
+        rows = self._connect().execute(
+            "SELECT cell_tag, cell_seed, cell_index, params, status, "
+            "payload, error FROM cells"
+        ).fetchall()
+        return {
+            tag: {
+                "cell_seed": seed,
+                "cell_index": index,
+                "params": params,
+                "status": status,
+                "payload": payload,
+                "error": error,
+            }
+            for tag, seed, index, params, status, payload, error in rows
+        }
 
 
 @dataclasses.dataclass(frozen=True)

@@ -1,13 +1,16 @@
 """The evaluation harness: every paper artifact as a runnable experiment.
 
-``REGISTRY`` indexes experiments E1-E16 (see DESIGN.md for the mapping to
+``REGISTRY`` indexes experiments E1-E18 (see DESIGN.md for the mapping to
 the paper's figures and theorems); each benchmark in ``benchmarks/``
 regenerates one entry, and :func:`render_all` reproduces the whole
-evaluation as ASCII tables.
+evaluation as ASCII tables.  E17/E18 are engineering artifacts: the
+parallel sweep and the resumable sqlite-checkpointed campaign layer
+(``python -m repro campaign``).
 """
 
 from .ablation import run_completeness_ablation
 from .applications import run_applications
+from .campaign import CampaignOutcome, CampaignRunner, cell_tag
 from .conjecture import run_conjecture_exploration
 from .counting import run_counting_experiment
 from .eventual_completeness import run_eventual_completeness
@@ -29,7 +32,7 @@ from .harness import (
     sweep_grid,
 )
 from .lower import run_impossibility_witnesses, run_round_complexity_witnesses
-from .matrix import run_matrix
+from .matrix import run_campaign_matrix, run_matrix
 from .multihop import run_multihop_flood
 from .registry import REGISTRY, render_all, run_experiment
 from .resilience import run_resilience
@@ -51,7 +54,8 @@ __all__ = [
     "Table", "Experiment", "ExperimentRegistry",
     "SweepRunner", "SweepCell", "SweepOutcome",
     "sweep_grid", "cell_seed", "consensus_sweep_cell",
-    "run_parallel_sweep",
+    "CampaignRunner", "CampaignOutcome", "cell_tag",
+    "run_parallel_sweep", "run_campaign_matrix",
     "REGISTRY", "render_all", "run_experiment",
     "ecf_environment", "maj_oac_environment", "zero_oac_environment",
     "nocf_environment",

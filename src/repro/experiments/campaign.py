@@ -1,0 +1,491 @@
+"""Checkpointing campaign runner: resumable sweep grids over sqlite.
+
+:class:`~repro.experiments.harness.SweepRunner` fans a grid across
+workers, but a large campaign run through it is all-or-nothing — a
+crash, timeout, or CI cancellation throws away every completed cell.
+:class:`CampaignRunner` wraps the same cell functions and seeding with
+durable, cell-granular checkpoints in a single ``campaign.db``
+(see :class:`~repro.core.records.SqliteSink`):
+
+* **Checkpointing** — every finished cell is committed to the ``cells``
+  table the moment it completes (in completion order, not submission
+  order, under the pooled path), keyed on its canonical coordinate tag.
+  Killing the campaign at any point loses at most the cells still
+  in flight on the workers.
+* **Resume** — :meth:`CampaignRunner.resume` queries the store first and
+  only runs cells that are not already checkpointed (``failed`` cells
+  are retried; ``done`` and ``timed_out`` cells are skipped).  Resume is
+  *idempotent*: with the same ``base_seed`` and the same grid, the
+  merged outcomes — and the byte content of :meth:`report` — are
+  identical whether the grid ran in one pass or across N interrupted
+  passes, because every payload is canonically JSON-serialised on the
+  way into the store and all merging reads back out of the store.
+* **Per-cell timeouts** — with ``cell_timeout`` set, each cell runs in
+  its own worker process; a cell that exceeds the wall-clock budget is
+  terminated and checkpointed as ``timed_out`` instead of killing the
+  grid.
+* **Failure isolation** — a cell that raises is checkpointed as
+  ``failed`` (with the exception's repr) and the campaign moves on;
+  unlike ``SweepRunner.run``, one bad cell never aborts the grid.
+
+Seeds come from :func:`~repro.experiments.harness.cell_seed` over the
+grid coordinates only.  Infrastructure parameters that must not perturb
+seeding or cell identity (a database path, a sink directory) go in
+``extra_params``: they are merged into the cell function's ``params`` at
+execution time but excluded from the tag, the seed, and the report's
+``params``, so two campaigns over the same grid agree cell-for-cell
+even when their databases live in different directories.  Byte-stable
+reports additionally need the *payload* to be a deterministic function
+of ``(grid params, seed)`` — ``consensus_sweep_cell`` satisfies this
+for ``sqlite_db`` but embeds the sink path in its payload under
+``sink_dir``, so campaigns comparing reports across machines should
+stream rounds via ``sqlite_db`` rather than ``sink_dir``.
+
+Example::
+
+    runner = CampaignRunner(
+        consensus_sweep_cell, db_path="campaign.db", base_seed=7,
+        cell_timeout=30.0,
+    )
+    outcomes = runner.resume(
+        n=[4, 16], detector=["0-OAC", "maj-OAC"], loss_rate=[0.1, 0.3],
+        trial=range(5),
+    )                       # first call: runs everything
+    outcomes = runner.resume(
+        n=[4, 16], detector=["0-OAC", "maj-OAC"], loss_rate=[0.1, 0.3],
+        trial=range(5),
+    )                       # second call: all cells checkpointed, no work
+
+(Replicates sweep as a ``trial`` axis, which folds into each cell's
+*derived* seed; a literal ``seed`` axis would override the derived seed
+inside ``consensus_sweep_cell`` and make cells sharing a seed value
+clobber each other's ``(cell_seed, round)`` rows in the shared
+``round_summaries`` table.)
+    print(runner.report(n=[4, 16], ...))   # canonical JSON, byte-stable
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+import pickle
+import time
+import warnings
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..core.errors import ConfigurationError
+from ..core.records import SqliteSink
+from .harness import SweepCell, SweepRunner, _canonical
+
+#: Cell statuses a resume does not re-run.
+SKIP_STATUSES: Tuple[str, ...] = ("done", "timed_out")
+
+#: Cell statuses a resume retries.
+RETRY_STATUSES: Tuple[str, ...] = ("failed",)
+
+
+def cell_tag(cell: SweepCell) -> str:
+    """The canonical, cross-run-stable identity of one grid cell.
+
+    Built from the cell's sorted coordinates via the same value-based
+    encoding that seeds it, so the tag is independent of grid order,
+    worker scheduling, and which pass of a resumed campaign ran it.
+    """
+    return "|".join(f"{k}={_canonical(v)}" for k, v in cell.params)
+
+
+def _payload_text(payload: Any) -> str:
+    """Canonical JSON for a cell payload (sorted keys, str fallback)."""
+    return json.dumps(payload, sort_keys=True, default=str)
+
+
+def _params_text(cell: SweepCell) -> str:
+    return json.dumps(dict(cell.params), sort_keys=True, default=str)
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignOutcome:
+    """One checkpointed cell read back from the campaign store.
+
+    ``payload`` is the JSON round-trip of what the cell function
+    returned (``None`` unless ``status == "done"``): int dict keys
+    become strings, tuples become lists — identical whether the cell ran
+    in this pass or a previous one, which is what makes resumed reports
+    byte-stable.
+    """
+
+    cell: SweepCell
+    status: str
+    payload: Any = None
+    error: Optional[str] = None
+
+    @property
+    def params(self) -> Dict[str, Any]:
+        return self.cell.as_dict()
+
+
+def _campaign_cell_worker(conn, fn, params: Dict[str, Any], seed: int) -> None:
+    """Timeout-mode worker: run one cell, ship (status, payload, error)."""
+    try:
+        payload = fn(params, seed)
+        conn.send(("done", payload, None))
+    except BaseException as exc:  # checkpointed as failed, never fatal
+        try:
+            conn.send(("failed", None, repr(exc)))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def _run_campaign_job(
+    job: Tuple[Callable[..., Any], SweepCell, Dict[str, Any]]
+) -> Tuple[int, str, Any, Optional[str], float]:
+    """Pool worker entry point (module-level so it pickles under spawn).
+
+    Returns ``(cell_index, status, payload, error, elapsed)`` and never
+    raises for a cell's own exception, so results can flow back through
+    ``imap_unordered`` — checkpointed in completion order — while still
+    being attributable to their cell.
+    """
+    fn, cell, extra = job
+    start = time.monotonic()
+    try:
+        payload = fn(dict(cell.as_dict(), **extra), cell.seed)
+    except Exception as exc:
+        return (cell.index, "failed", None, repr(exc),
+                time.monotonic() - start)
+    return (cell.index, "done", payload, None, time.monotonic() - start)
+
+
+class CampaignRunner:
+    """A resumable, checkpointing wrapper around the sweep machinery.
+
+    Parameters
+    ----------
+    cell_fn:
+        A picklable top-level callable ``fn(params, seed) -> payload``
+        (the same contract as :class:`SweepRunner`); the payload must be
+        JSON-serialisable up to ``str`` fallback.
+    db_path:
+        The campaign's sqlite store.  One database is one campaign:
+        reusing a database with a different ``base_seed`` or a
+        conflicting grid raises instead of silently mixing results.
+    base_seed:
+        Folded into every cell's deterministic seed.
+    processes:
+        Worker count for the no-timeout parallel path (``None`` picks
+        ``min(cells, cpu_count)``; ``0``/``1`` forces serial).
+    cell_timeout:
+        Per-cell wall-clock budget in seconds.  When set, each cell runs
+        in its own worker process (serially) so an overrunning cell can
+        be terminated and checkpointed as ``timed_out``.  When worker
+        processes are unavailable (sandboxed platforms), cells run
+        in-process with a warning and the timeout is not enforced.
+    extra_params:
+        Non-coordinate parameters merged into ``params`` at execution
+        time only — excluded from seeding, cell identity, and reports.
+    """
+
+    def __init__(
+        self,
+        cell_fn: Callable[[Dict[str, Any], int], Any],
+        db_path: str,
+        base_seed: int = 0,
+        processes: Optional[int] = None,
+        cell_timeout: Optional[float] = None,
+        extra_params: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        self.cell_fn = cell_fn
+        self.db_path = str(db_path)
+        self.base_seed = base_seed
+        self.processes = processes
+        self.cell_timeout = cell_timeout
+        self.extra_params = dict(extra_params or {})
+        self._sweep = SweepRunner(cell_fn, processes=processes,
+                                  base_seed=base_seed)
+
+    # ------------------------------------------------------------------
+    def cells(self, **axes: Iterable[Any]) -> List[SweepCell]:
+        """The seeded grid (delegates to :meth:`SweepRunner.cells`)."""
+        return self._sweep.cells(**axes)
+
+    # ------------------------------------------------------------------
+    def run(
+        self, max_cells: Optional[int] = None, **axes: Iterable[Any]
+    ) -> List[CampaignOutcome]:
+        """Launch (or continue) the campaign — an alias of :meth:`resume`.
+
+        Launching and resuming are the same idempotent operation: run
+        whatever the store does not already hold.
+        """
+        return self.resume(max_cells=max_cells, **axes)
+
+    def resume(
+        self, max_cells: Optional[int] = None, **axes: Iterable[Any]
+    ) -> List[CampaignOutcome]:
+        """Run every cell not already checkpointed; return merged outcomes.
+
+        ``max_cells`` bounds how many *pending* cells this pass runs
+        (the deterministic interruption used by tests and the CI resume
+        smoke); the merged outcome list covers every cell present in the
+        store after the pass, in grid order.
+        """
+        cells = self.cells(**axes)
+        with SqliteSink(self.db_path) as store:
+            existing = store.get_cells()
+            pending = []
+            for cell in cells:
+                tag = cell_tag(cell)
+                row = existing.get(tag)
+                if row is not None:
+                    if row["cell_seed"] != cell.seed:
+                        raise ConfigurationError(
+                            f"campaign db {self.db_path!r} holds cell "
+                            f"{tag!r} with seed {row['cell_seed']}, but "
+                            f"this grid derives seed {cell.seed} — the "
+                            "store belongs to a different base_seed/grid"
+                        )
+                    if row["status"] in SKIP_STATUSES:
+                        continue
+                pending.append(cell)
+            if max_cells is not None:
+                pending = pending[:max_cells]
+            if pending:
+                self._run_pending(store, pending)
+            return self._merge(store, cells)
+
+    # ------------------------------------------------------------------
+    def _checkpoint(
+        self,
+        store: SqliteSink,
+        cell: SweepCell,
+        status: str,
+        payload: Any = None,
+        error: Optional[str] = None,
+        elapsed: Optional[float] = None,
+    ) -> None:
+        store.record_cell(
+            tag=cell_tag(cell),
+            seed=cell.seed,
+            index=cell.index,
+            params_text=_params_text(cell),
+            status=status,
+            payload_text=_payload_text(payload) if status == "done" else None,
+            error=error,
+            elapsed=elapsed,
+        )
+
+    def _run_pending(
+        self, store: SqliteSink, pending: Sequence[SweepCell]
+    ) -> None:
+        # A pending cell may have streamed rounds in a killed or failed
+        # earlier attempt; clear them so stale rows can never linger
+        # past the new attempt's final round.
+        for cell in pending:
+            store.clear_rounds(cell.seed)
+        if self.cell_timeout is not None:
+            self._run_with_timeouts(store, pending)
+        else:
+            self._run_pooled(store, pending)
+
+    # -- no-timeout path: pool fan-out, checkpoint as results arrive ----
+    def _run_pooled(
+        self, store: SqliteSink, pending: Sequence[SweepCell]
+    ) -> None:
+        jobs = [(self.cell_fn, cell, self.extra_params) for cell in pending]
+        workers = self.processes
+        if workers is None:
+            workers = min(len(jobs), multiprocessing.cpu_count() or 1)
+        pool = None
+        if workers > 1 and len(jobs) > 1:
+            try:
+                pickle.dumps((self.cell_fn, self.extra_params))
+                # Never fork with a live sqlite connection: the child's
+                # inherited descriptor can break the parent's WAL locks.
+                store.disconnect()
+                pool = multiprocessing.Pool(workers)
+            except Exception as exc:
+                warnings.warn(
+                    f"CampaignRunner: pool unavailable ({exc!r}); running "
+                    "cells serially in-process",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+        if pool is None:
+            for job in jobs:
+                _, status, payload, error, elapsed = _run_campaign_job(job)
+                self._checkpoint(store, job[1], status, payload=payload,
+                                 error=error, elapsed=elapsed)
+            return
+        # imap_unordered checkpoints every cell the moment it completes:
+        # a kill mid-grid loses only cells still in flight, never a
+        # finished cell queued behind a slow neighbour.  Workers catch
+        # their cell's exception and return it tagged with the cell
+        # index, so failures stay attributable out of order.
+        by_index = {cell.index: cell for cell in pending}
+        with pool:
+            for index, status, payload, error, elapsed in (
+                pool.imap_unordered(_run_campaign_job, jobs)
+            ):
+                self._checkpoint(store, by_index[index], status,
+                                 payload=payload, error=error,
+                                 elapsed=elapsed)
+
+    # -- timeout path: one worker process per cell ----------------------
+    def _run_with_timeouts(
+        self, store: SqliteSink, pending: Sequence[SweepCell]
+    ) -> None:
+        store.disconnect()  # no sqlite connection may cross the forks below
+        try:
+            self._probe_worker()
+        except Exception as exc:
+            warnings.warn(
+                f"CampaignRunner: worker processes unavailable ({exc!r}); "
+                "running cells in-process — per-cell timeouts are NOT "
+                "enforced",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            for cell in pending:
+                _, status, payload, error, elapsed = _run_campaign_job(
+                    (self.cell_fn, cell, self.extra_params)
+                )
+                self._checkpoint(store, cell, status, payload=payload,
+                                 error=error, elapsed=elapsed)
+            return
+        for cell in pending:
+            start = time.monotonic()
+            store.disconnect()  # checkpointing reopened it; drop pre-fork
+            status, payload, error = self._run_one_with_timeout(cell)
+            self._checkpoint(store, cell, status, payload=payload,
+                             error=error, elapsed=time.monotonic() - start)
+
+    @staticmethod
+    def _probe_worker() -> None:
+        """Raise when this platform cannot start worker processes."""
+        proc = multiprocessing.Process(target=_noop)
+        proc.start()
+        proc.join()
+
+    def _run_one_with_timeout(self, cell: SweepCell):
+        parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
+        params = dict(cell.as_dict(), **self.extra_params)
+        proc = multiprocessing.Process(
+            target=_campaign_cell_worker,
+            args=(child_conn, self.cell_fn, params, cell.seed),
+        )
+        proc.start()
+        child_conn.close()
+        try:
+            if parent_conn.poll(self.cell_timeout):
+                try:
+                    status, payload, error = parent_conn.recv()
+                except EOFError:
+                    status, payload, error = (
+                        "failed", None, "worker died without a result"
+                    )
+                # The result is in hand; never let a worker that won't
+                # exit (stray non-daemon thread, blocking atexit hook)
+                # stall the grid.
+                proc.join(5.0)
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join()
+                return status, payload, error
+            proc.terminate()
+            proc.join(5.0)
+            if proc.is_alive():
+                # SIGTERM caught or the cell is stuck in uninterruptible
+                # C code — escalate so one cell can never hang the grid.
+                proc.kill()
+                proc.join()
+            return "timed_out", None, None
+        finally:
+            parent_conn.close()
+
+    # ------------------------------------------------------------------
+    def _merge(
+        self, store: SqliteSink, cells: Sequence[SweepCell]
+    ) -> List[CampaignOutcome]:
+        """Grid-ordered outcomes for every cell present in the store.
+
+        Reads *everything* back out of the store — including cells that
+        just ran — so a payload always arrives through the same JSON
+        round-trip regardless of which pass produced it.
+        """
+        rows = store.get_cells()
+        merged = []
+        for cell in cells:
+            row = rows.get(cell_tag(cell))
+            if row is None:
+                continue  # interrupted before this cell ran
+            if row["cell_seed"] != cell.seed:
+                # Guard the read path too: a report over a store built
+                # under a different base_seed must never attribute its
+                # payloads to this grid's seeds.
+                raise ConfigurationError(
+                    f"campaign db {self.db_path!r} holds cell "
+                    f"{cell_tag(cell)!r} with seed {row['cell_seed']}, "
+                    f"but this grid derives seed {cell.seed} — the "
+                    "store belongs to a different base_seed/grid"
+                )
+            merged.append(CampaignOutcome(
+                cell=cell,
+                status=row["status"],
+                payload=(
+                    json.loads(row["payload"])
+                    if row["payload"] is not None else None
+                ),
+                error=row["error"],
+            ))
+        return merged
+
+    def outcomes(self, **axes: Iterable[Any]) -> List[CampaignOutcome]:
+        """Merged outcomes currently in the store, without running anything."""
+        with SqliteSink(self.db_path) as store:
+            return self._merge(store, self.cells(**axes))
+
+    def report(self, **axes: Iterable[Any]) -> str:
+        """A canonical JSON report of the campaign's merged outcomes.
+
+        Byte-identical across any interrupt/resume schedule of the same
+        grid: cell order is grid order, every payload went through the
+        same canonical serialisation, and wall-clock noise (elapsed
+        times) is excluded.
+        """
+        merged = self.outcomes(**axes)
+        return json.dumps(
+            {
+                "base_seed": self.base_seed,
+                "cells": [
+                    {
+                        "index": o.cell.index,
+                        "seed": o.cell.seed,
+                        "params": o.params,
+                        "status": o.status,
+                        "payload": o.payload,
+                        "error": o.error,
+                    }
+                    for o in merged
+                ],
+            },
+            sort_keys=True,
+            default=str,
+            indent=1,
+        )
+
+
+def _noop() -> None:
+    """Target for the worker-availability probe."""

@@ -44,6 +44,33 @@ Example::
         n=[4, 16], detector=["0-OAC", "maj-OAC"], trial=range(3)
     )
     solved = [o.payload["solved"] for o in outcomes]
+
+The campaign layer
+------------------
+
+``SweepRunner`` is all-or-nothing: interrupt it and every completed
+cell is lost.  :class:`repro.experiments.campaign.CampaignRunner` wraps
+the same cell functions and :func:`cell_seed` derivation with durable
+checkpoints in one sqlite ``campaign.db``
+(:class:`repro.core.records.SqliteSink`, WAL mode):
+
+* **Checkpoint schema** — a ``cells`` table keyed on the cell's
+  canonical coordinate tag (status ``done``/``timed_out``/``failed``,
+  canonical-JSON payload), plus a ``round_summaries`` table keyed on
+  ``(cell_seed, round)`` that cells stream per-round aggregates into
+  (pass ``sqlite_db`` to :func:`consensus_sweep_cell`).
+* **Resume semantics** — ``resume()`` queries the store and runs only
+  unfinished cells (``failed`` retried, ``done``/``timed_out``
+  skipped).  Same ``base_seed`` + same grid ⇒ the merged outcomes and
+  ``report()`` bytes are identical whether the campaign ran in one pass
+  or across N interrupted passes.
+* **Timeout behavior** — with ``cell_timeout`` set, each cell runs in
+  its own worker process; an overrunning cell is terminated and
+  checkpointed ``timed_out`` instead of killing the grid.
+
+``python -m repro campaign`` launches/resumes a campaign from the
+command line; E18 (``repro.experiments.matrix.run_campaign_matrix``)
+drives the full (n × detector × loss_rate × seed) matrix through it.
 """
 
 from __future__ import annotations
@@ -325,6 +352,14 @@ class SweepRunner:
         return self.run(self.cells(**axes))
 
 
+def _fanout_observer(observers: Sequence[Callable[[Any], None]]):
+    """Compose round observers (each artifact goes to every sink)."""
+    def observe(artifact: Any) -> None:
+        for obs in observers:
+            obs(artifact)
+    return observe
+
+
 def consensus_sweep_cell(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     """Built-in sweep cell: Algorithm 2 to decision in an ECF environment.
 
@@ -332,21 +367,27 @@ def consensus_sweep_cell(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     ``values`` (|V|, default 16), ``cst`` (default 3), ``detector`` (a
     Figure 1 class name, default ``"0-OAC"``), ``loss_rate`` (default
     0.3), ``record_policy`` (``"full"``/``"summary"``/``"none"``, default
-    summary), ``seed`` (overrides the derived per-cell seed), and
+    summary), ``seed`` (overrides the derived per-cell seed),
     ``sink_dir`` (a directory path: stream every round's summary to
     ``<sink_dir>/cell-<seed>-<tag>.jsonl`` via a
     :class:`~repro.core.records.JsonlSink`, so even ``NONE``-policy
     campaigns leave a durable per-round trail without holding rounds in
     memory; ``tag`` is derived from the full coordinate dict, so cells
     sharing an explicit ``seed`` axis value still get distinct files —
-    parallel workers never clobber each other).  Returns a picklable
+    parallel workers never clobber each other), and ``sqlite_db`` (a
+    database path: stream the same per-round summaries into the shared
+    campaign store's ``round_summaries`` table via a
+    :class:`~repro.core.records.SqliteSink` keyed on this cell's seed —
+    WAL mode makes the concurrent appends of parallel workers safe).
+    Both sinks open lazily, so a cell that raises before round 1 leaves
+    no empty file (and no spurious rows) behind.  Returns a picklable
     dict with decisions, decision rounds, round count, and the consensus
     report's verdicts.
     """
     from ..algorithms.alg2 import algorithm_2, termination_bound
     from ..core.consensus import evaluate
     from ..core.execution import run_consensus
-    from ..core.records import JsonlSink, RecordPolicy
+    from ..core.records import JsonlSink, RecordPolicy, SqliteSink
     from ..detectors.classes import get_class
     from .scenarios import ecf_environment
 
@@ -358,12 +399,13 @@ def consensus_sweep_cell(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     policy = RecordPolicy(str(params.get("record_policy", "summary")))
     seed = int(params.get("seed", seed))
     sink_dir = params.get("sink_dir")
+    sqlite_db = params.get("sqlite_db")
 
     values = list(range(vc))
     env = ecf_environment(n, detector, cst=cst, loss_rate=loss_rate, seed=seed)
     assignment = {i: values[(i * 7 + seed) % vc] for i in env.indices}
     bound = termination_bound(cst, vc)
-    sink = None
+    sinks: List[Any] = []
     sink_path = None
     if sink_dir:
         os.makedirs(str(sink_dir), exist_ok=True)
@@ -373,15 +415,20 @@ def consensus_sweep_cell(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
         sink_path = os.path.join(
             str(sink_dir), f"cell-{seed}-{tag:08x}.jsonl"
         )
-        sink = JsonlSink(sink_path)
+        sinks.append(JsonlSink(sink_path))
+    if sqlite_db:
+        sinks.append(SqliteSink(str(sqlite_db), cell_seed=seed))
+    observer = None
+    if sinks:
+        observer = sinks[0] if len(sinks) == 1 else _fanout_observer(sinks)
     try:
         result = run_consensus(
             env, algorithm_2(values), assignment,
             max_rounds=bound + 20, record_policy=policy,
-            observer=sink,
+            observer=observer,
         )
     finally:
-        if sink is not None:
+        for sink in sinks:
             sink.close()
     report = evaluate(result, by_round=bound)
     payload = {

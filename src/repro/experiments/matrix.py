@@ -8,12 +8,21 @@ analyses, reporting:
   decision round relative to CST, or the witness constructor's verdict
   that no decision happened / a hypothetical fast decider would violate
   agreement.
+
+E18 (:func:`run_campaign_matrix`) is the matrix *at scale*: the upper
+bound rows re-run as a full (n × detector × loss_rate × seed) grid
+through the checkpointing :class:`~repro.experiments.campaign.
+CampaignRunner`, so the sweep survives interruption and resumes from
+its sqlite store.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List
+import os
+import shutil
+import tempfile
+from typing import Iterable, List, Optional
 
 from ..algorithms.alg1 import algorithm_1
 from ..algorithms.alg1 import termination_bound as alg1_bound
@@ -33,7 +42,8 @@ from ..lowerbounds.theorems import (
     theorem8_witness,
     theorem9_witness,
 )
-from .harness import Table
+from .campaign import CampaignRunner
+from .harness import Table, consensus_sweep_cell
 from .scenarios import ecf_environment, nocf_environment
 
 _N = 4
@@ -193,4 +203,140 @@ def run_matrix() -> List[Table]:
             ),
         }
     )
+    return [table]
+
+
+# ----------------------------------------------------------------------
+# E18: the matrix at campaign scale
+# ----------------------------------------------------------------------
+def run_campaign_matrix(
+    db_path: Optional[str] = None,
+    ns: Iterable[int] = (4, 8),
+    detectors: Iterable[str] = ("0-OAC", "maj-OAC"),
+    loss_rates: Iterable[float] = (0.1, 0.3),
+    seeds: Iterable[int] = (0, 1, 2),
+    base_seed: int = 0,
+    values: int = 16,
+    cell_timeout: Optional[float] = None,
+    processes: Optional[int] = None,
+    max_cells: Optional[int] = None,
+) -> List[Table]:
+    """E18: the E1 upper-bound matrix at scale, through the campaign layer.
+
+    Sweeps (n × detector × loss_rate × seed) cells of
+    :func:`~repro.experiments.harness.consensus_sweep_cell` — Algorithm 2
+    to decision under the ``SUMMARY`` record policy — via
+    :class:`~repro.experiments.campaign.CampaignRunner`, which
+    checkpoints every finished cell into ``db_path`` (``campaign.db``)
+    and streams each cell's per-round summaries into the same store.
+    Re-running with the same ``db_path`` resumes: completed cells are
+    read back instead of re-simulated, and an interrupted grid finishes
+    from where it stopped with byte-identical merged outcomes.
+
+    One table row aggregates each (n, detector, loss_rate) combination
+    over its seeds; ``db_path=None`` uses a throwaway store under the
+    system temp directory — a fresh campaign every call, removed once
+    the table is built (pass an explicit ``db_path`` to keep a store
+    you can resume or interrupt).
+    """
+    throwaway = None
+    if db_path is None:
+        throwaway = tempfile.mkdtemp(prefix="repro-e18-")
+        db_path = os.path.join(throwaway, "campaign.db")
+    try:
+        return _campaign_matrix_tables(
+            db_path, ns, detectors, loss_rates, seeds, base_seed, values,
+            cell_timeout, processes, max_cells,
+            throwaway=throwaway is not None,
+        )
+    finally:
+        if throwaway is not None:
+            shutil.rmtree(throwaway, ignore_errors=True)
+
+
+def _campaign_matrix_tables(
+    db_path: str,
+    ns: Iterable[int],
+    detectors: Iterable[str],
+    loss_rates: Iterable[float],
+    seeds: Iterable[int],
+    base_seed: int,
+    values: int,
+    cell_timeout: Optional[float],
+    processes: Optional[int],
+    max_cells: Optional[int],
+    throwaway: bool = False,
+) -> List[Table]:
+    runner = CampaignRunner(
+        consensus_sweep_cell,
+        db_path=db_path,
+        base_seed=base_seed,
+        processes=processes,
+        cell_timeout=cell_timeout,
+        extra_params={"sqlite_db": db_path},
+    )
+    # The seed axis is swept as ``trial``: each trial folds into the
+    # *derived* per-cell seed (via cell_seed) instead of overriding it,
+    # so every cell owns a distinct (cell_seed, round) key range in the
+    # shared round_summaries table.
+    axes = dict(
+        n=list(ns),
+        detector=list(detectors),
+        loss_rate=[float(r) for r in loss_rates],
+        trial=list(seeds),
+        values=[int(values)],
+        record_policy=["summary"],
+    )
+    outcomes = runner.resume(max_cells=max_cells, **axes)
+
+    table = Table(
+        title="E18  Campaign matrix: (n x detector x loss_rate x seed)",
+        columns=[
+            "n", "detector", "loss_rate", "cells", "done", "timed_out",
+            "failed", "solved", "mean_rounds", "mean_decision_round",
+        ],
+        note=(
+            "checkpointed in a throwaway temp store (pass db_path to "
+            "keep one)" if throwaway else
+            f"checkpointed in {db_path}; rerun with the same db to "
+            "resume — completed cells are read back, not re-simulated"
+        ),
+    )
+    groups = {}
+    for outcome in outcomes:
+        p = outcome.params
+        groups.setdefault(
+            (p["n"], p["detector"], p["loss_rate"]), []
+        ).append(outcome)
+    for (n, detector, loss_rate), cell_outcomes in sorted(
+        groups.items(), key=lambda kv: (kv[0][0], kv[0][1], kv[0][2])
+    ):
+        done = [o for o in cell_outcomes if o.status == "done"]
+        solved = sum(1 for o in done if o.payload["solved"])
+        rounds = [o.payload["rounds"] for o in done]
+        decision_rounds = [
+            o.payload["decision_round"] for o in done
+            if o.payload["decision_round"] is not None
+        ]
+        table.add(**{
+            "n": n,
+            "detector": detector,
+            "loss_rate": loss_rate,
+            "cells": len(cell_outcomes),
+            "done": len(done),
+            "timed_out": sum(
+                1 for o in cell_outcomes if o.status == "timed_out"
+            ),
+            "failed": sum(
+                1 for o in cell_outcomes if o.status == "failed"
+            ),
+            "solved": f"{solved}/{len(done)}" if done else "0/0",
+            "mean_rounds": (
+                sum(rounds) / len(rounds) if rounds else None
+            ),
+            "mean_decision_round": (
+                sum(decision_rounds) / len(decision_rounds)
+                if decision_rounds else None
+            ),
+        })
     return [table]

@@ -21,7 +21,7 @@ from .detector_quality import (
 )
 from .harness import Experiment, ExperimentRegistry, Table
 from .lower import run_impossibility_witnesses, run_round_complexity_witnesses
-from .matrix import run_matrix
+from .matrix import run_campaign_matrix, run_matrix
 from .multihop import run_multihop_flood
 from .resilience import run_resilience
 from .sweep import run_parallel_sweep
@@ -141,6 +141,12 @@ REGISTRY.register(Experiment(
     title="Parallel sweep under streaming record policies",
     paper_ref="engineering artifact (ROADMAP scaling north star)",
     run=run_parallel_sweep,
+))
+REGISTRY.register(Experiment(
+    exp_id="E18",
+    title="Campaign matrix at scale (resumable, sqlite-checkpointed)",
+    paper_ref="Figure 1 upper bounds at scale (ROADMAP campaign layer)",
+    run=run_campaign_matrix,
 ))
 
 

@@ -1,0 +1,353 @@
+"""The campaign layer: sqlite round/cell store and the resumable runner.
+
+Covers the PR's durability contract end to end:
+
+* ``SqliteSink`` round-trips round summaries (write, reopen, read back
+  ordered by round) and survives two processes appending to one
+  database (WAL mode);
+* ``JsonlSink``/``SqliteSink`` open lazily, so a cell that raises
+  before round 1 leaves nothing on disk (the ``consensus_sweep_cell``
+  exception path);
+* ``CampaignRunner.resume`` is idempotent — interrupting after any
+  prefix of cells and resuming yields a report byte-identical to an
+  uninterrupted single-pass run (and to a pooled run);
+* per-cell timeouts checkpoint ``timed_out`` instead of killing the
+  grid; ``failed`` cells are retried on resume; a store created under a
+  different base_seed is rejected loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.records import JsonlSink, RecordPolicy, RoundSummary, SqliteSink
+from repro.experiments.campaign import CampaignRunner, cell_tag
+from repro.experiments.harness import consensus_sweep_cell
+
+
+def _summary(r: int, bc: int = 2, crashed=(), decided=None) -> RoundSummary:
+    return RoundSummary(
+        round=r,
+        broadcast_count=bc,
+        crashed_during=frozenset(crashed),
+        decided_during=dict(decided or {}),
+    )
+
+
+# ----------------------------------------------------------------------
+# SqliteSink: the observer protocol and the store
+# ----------------------------------------------------------------------
+def test_sqlite_sink_roundtrip_ordered_by_round(tmp_path):
+    db = str(tmp_path / "campaign.db")
+    with SqliteSink(db, cell_seed=11) as sink:
+        # Out-of-order writes must still read back ordered by round.
+        for r in (3, 1, 2):
+            sink(_summary(r, bc=r, crashed={r}, decided={0: r * 10}))
+        assert sink.rounds_written == 3
+    with SqliteSink(db) as sink:
+        rows = sink.read_summaries(cell_seed=11)
+    assert [s.round for s in rows] == [1, 2, 3]
+    assert [s.broadcast_count for s in rows] == [1, 2, 3]
+    assert rows[0].crashed_during == frozenset({1})
+    assert rows[2].decided_during == {0: 30}
+    # A different cell's keyspace is empty.
+    with SqliteSink(db) as sink:
+        assert sink.read_summaries(cell_seed=999) == []
+
+
+def test_sqlite_sink_write_is_idempotent_per_round(tmp_path):
+    db = str(tmp_path / "campaign.db")
+    with SqliteSink(db, cell_seed=5) as sink:
+        sink(_summary(1, bc=1))
+        sink(_summary(1, bc=4))  # replayed round overwrites, no dup key
+        assert [s.broadcast_count for s in sink.read_summaries()] == [4]
+
+
+def test_sqlite_sink_streams_from_engine(tmp_path):
+    db = str(tmp_path / "campaign.db")
+    payload = consensus_sweep_cell(
+        {"n": 3, "values": 4, "record_policy": "none", "sqlite_db": db},
+        seed=77,
+    )
+    with SqliteSink(db) as sink:
+        rows = sink.read_summaries(cell_seed=77)
+    assert len(rows) == payload["rounds"]
+    assert [s.round for s in rows] == list(range(1, payload["rounds"] + 1))
+
+
+def test_sqlite_sink_rejects_after_close_and_without_seed(tmp_path):
+    db = str(tmp_path / "campaign.db")
+    sink = SqliteSink(db, cell_seed=1)
+    sink.close()
+    with pytest.raises(ConfigurationError):
+        sink(_summary(1))
+    storeless = SqliteSink(db)  # store-only: observing needs a cell_seed
+    with pytest.raises(ConfigurationError):
+        storeless(_summary(1))
+    storeless.close()
+
+
+def _append_rounds(db: str, cell_seed: int, rounds: int) -> None:
+    """Two-process append worker (module-level so it forks/spawns)."""
+    with SqliteSink(db, cell_seed=cell_seed) as sink:
+        for r in range(1, rounds + 1):
+            sink(_summary(r, bc=cell_seed))
+
+
+def test_sqlite_sink_concurrent_two_process_append(tmp_path):
+    db = str(tmp_path / "campaign.db")
+    # Create the schema up front so both writers race only on appends —
+    # and close the connection before forking (an inherited sqlite
+    # descriptor can break the writers' WAL locking).
+    with SqliteSink(db, cell_seed=0) as schema:
+        schema._connect()
+    procs = [
+        multiprocessing.Process(target=_append_rounds, args=(db, seed, 40))
+        for seed in (101, 202)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(60)
+    assert all(p.exitcode == 0 for p in procs)
+    with SqliteSink(db) as sink:
+        for seed in (101, 202):
+            rows = sink.read_summaries(cell_seed=seed)
+            assert [s.round for s in rows] == list(range(1, 41))
+            assert all(s.broadcast_count == seed for s in rows)
+
+
+# ----------------------------------------------------------------------
+# Lazy sinks: the consensus_sweep_cell exception path
+# ----------------------------------------------------------------------
+def test_jsonl_sink_opens_lazily(tmp_path):
+    path = tmp_path / "rounds.jsonl"
+    sink = JsonlSink(str(path))
+    assert not path.exists()          # nothing on disk until round 1
+    sink(_summary(1))
+    assert path.exists()
+    sink.close()
+
+
+def test_sweep_cell_failure_before_round_one_leaves_no_sink_file(
+    tmp_path, monkeypatch
+):
+    import repro.core.execution as execution
+
+    def boom(*args, **kwargs):
+        raise RuntimeError("engine refused to start")
+
+    monkeypatch.setattr(execution, "run_consensus", boom)
+    db = str(tmp_path / "campaign.db")
+    with pytest.raises(RuntimeError, match="refused to start"):
+        consensus_sweep_cell(
+            {"n": 3, "values": 4, "sink_dir": str(tmp_path / "sinks"),
+             "sqlite_db": db},
+            seed=9,
+        )
+    sink_dir = tmp_path / "sinks"
+    assert not db_exists_with_rows(db)
+    assert not sink_dir.exists() or list(sink_dir.iterdir()) == []
+
+
+def db_exists_with_rows(db: str) -> bool:
+    if not os.path.exists(db):
+        return False
+    with SqliteSink(db) as sink:
+        return bool(sink.read_summaries(cell_seed=9))
+
+
+# ----------------------------------------------------------------------
+# CampaignRunner: resume determinism
+# ----------------------------------------------------------------------
+AXES = dict(
+    n=[3, 4], detector=["0-OAC"], loss_rate=[0.1, 0.3], trial=[0, 1],
+    values=[8], record_policy=["summary"],
+)
+
+
+def _serial_runner(db: str, base_seed: int = 3, **kwargs) -> CampaignRunner:
+    return CampaignRunner(
+        consensus_sweep_cell, db_path=db, base_seed=base_seed, processes=0,
+        **kwargs,
+    )
+
+
+@pytest.mark.parametrize("prefix", [1, 3, 7])
+def test_resume_after_any_prefix_is_byte_identical(tmp_path, prefix):
+    interrupted = _serial_runner(str(tmp_path / "interrupted.db"))
+    first = interrupted.resume(max_cells=prefix, **AXES)
+    assert len(first) == prefix
+    assert all(o.status == "done" for o in first)
+    second = interrupted.resume(**AXES)
+    assert len(second) == 8
+
+    clean = _serial_runner(str(tmp_path / "clean.db"))
+    clean.resume(**AXES)
+
+    assert interrupted.report(**AXES) == clean.report(**AXES)
+    # Resuming a complete campaign is a no-op with the same bytes.
+    third = interrupted.resume(**AXES)
+    assert [o.status for o in third] == [o.status for o in second]
+    assert interrupted.report(**AXES) == clean.report(**AXES)
+
+
+def test_pooled_run_matches_serial_report(tmp_path):
+    serial = _serial_runner(str(tmp_path / "serial.db"))
+    serial.resume(**AXES)
+    pooled = CampaignRunner(
+        consensus_sweep_cell, db_path=str(tmp_path / "pooled.db"),
+        base_seed=3, processes=2,
+    )
+    pooled.resume(**AXES)
+    assert pooled.report(**AXES) == serial.report(**AXES)
+
+
+def test_outcomes_payloads_survive_the_json_roundtrip(tmp_path):
+    runner = _serial_runner(str(tmp_path / "campaign.db"))
+    outcomes = runner.resume(**AXES)
+    fresh = consensus_sweep_cell(
+        outcomes[0].params, outcomes[0].cell.seed
+    )
+    # Stored payloads are the canonical-JSON round-trip of fresh ones.
+    assert outcomes[0].payload == json.loads(
+        json.dumps(fresh, sort_keys=True, default=str)
+    )
+
+
+def test_store_with_different_base_seed_is_rejected(tmp_path):
+    db = str(tmp_path / "campaign.db")
+    _serial_runner(db, base_seed=3).resume(max_cells=2, **AXES)
+    with pytest.raises(ConfigurationError, match="different base_seed"):
+        _serial_runner(db, base_seed=4).resume(**AXES)
+    # The read-only paths reject the mismatch too — a report must never
+    # attribute stored payloads to seeds they were not produced under.
+    with pytest.raises(ConfigurationError, match="different base_seed"):
+        _serial_runner(db, base_seed=4).report(**AXES)
+    with pytest.raises(ConfigurationError, match="different base_seed"):
+        _serial_runner(db, base_seed=4).outcomes(**AXES)
+
+
+def test_rerun_clears_stale_rounds_from_a_dead_attempt(tmp_path):
+    db = str(tmp_path / "campaign.db")
+    runner = _serial_runner(db, extra_params={"sqlite_db": db})
+    # Simulate a killed earlier attempt: 40 orphan rounds streamed under
+    # a pending cell's seed, with no cells row checkpointed.
+    victim = runner.cells(**AXES)[0]
+    with SqliteSink(db, cell_seed=victim.seed) as sink:
+        for r in range(1, 41):
+            sink(_summary(r, bc=9))
+    outcomes = runner.resume(**AXES)
+    (outcome,) = [o for o in outcomes if o.cell.seed == victim.seed]
+    with SqliteSink(db) as sink:
+        rows = sink.read_summaries(cell_seed=victim.seed)
+    # No stale rows past the real attempt's final round.
+    assert len(rows) == outcome.payload["rounds"] < 40
+    assert all(s.broadcast_count != 9 for s in rows)
+
+
+def test_campaign_streams_round_summaries_into_the_same_db(tmp_path):
+    db = str(tmp_path / "campaign.db")
+    runner = _serial_runner(db, extra_params={"sqlite_db": db})
+    outcomes = runner.resume(max_cells=2, **AXES)
+    with SqliteSink(db) as sink:
+        for outcome in outcomes:
+            rows = sink.read_summaries(cell_seed=outcome.cell.seed)
+            assert len(rows) == outcome.payload["rounds"]
+    # extra_params stay out of cell identity: tags only hold grid coords.
+    assert "sqlite_db" not in cell_tag(outcomes[0].cell)
+    assert "sqlite_db" not in runner.report(**AXES)
+
+
+# ----------------------------------------------------------------------
+# CampaignRunner: timeouts and failure isolation
+# ----------------------------------------------------------------------
+def _sleepy_cell(params, seed):
+    if params["trial"] == 1:
+        time.sleep(60)
+    return {"seed": seed, "trial": params["trial"]}
+
+
+def _flaky_cell(params, seed):
+    if not os.path.exists(params["flag"]):
+        raise ValueError(f"flag missing for trial {params['trial']}")
+    return {"seed": seed}
+
+
+def test_cell_timeout_marks_timed_out_without_killing_the_grid(tmp_path):
+    runner = CampaignRunner(
+        _sleepy_cell, db_path=str(tmp_path / "campaign.db"),
+        base_seed=0, cell_timeout=1.0,
+    )
+    outcomes = runner.resume(trial=[0, 1, 2])
+    assert [o.status for o in outcomes] == ["done", "timed_out", "done"]
+    assert outcomes[1].payload is None
+    # Resume skips the timed-out cell rather than hanging on it again.
+    start = time.monotonic()
+    again = runner.resume(trial=[0, 1, 2])
+    assert time.monotonic() - start < 30
+    assert [o.status for o in again] == ["done", "timed_out", "done"]
+
+
+def test_failed_cells_are_checkpointed_and_retried_on_resume(tmp_path):
+    flag = str(tmp_path / "flag")
+    runner = CampaignRunner(
+        _flaky_cell, db_path=str(tmp_path / "campaign.db"),
+        base_seed=0, processes=0, extra_params={"flag": flag},
+    )
+    outcomes = runner.resume(trial=[0, 1])
+    assert [o.status for o in outcomes] == ["failed", "failed"]
+    assert "flag missing" in outcomes[0].error
+    open(flag, "w").close()
+    outcomes = runner.resume(trial=[0, 1])
+    assert [o.status for o in outcomes] == ["done", "done"]
+
+
+# ----------------------------------------------------------------------
+# E18 and the CLI subcommand
+# ----------------------------------------------------------------------
+def test_run_campaign_matrix_resumes_from_its_db(tmp_path):
+    from repro.experiments.matrix import run_campaign_matrix
+
+    db = str(tmp_path / "campaign.db")
+    kwargs = dict(
+        db_path=db, ns=(3,), detectors=("0-OAC",), loss_rates=(0.1,),
+        seeds=(0, 1), processes=0,
+    )
+    partial = run_campaign_matrix(max_cells=1, **kwargs)
+    assert partial[0].column("cells") == [1]
+    tables = run_campaign_matrix(**kwargs)
+    (row,) = tables[0].rows
+    assert row["cells"] == 2 and row["done"] == 2
+    assert row["solved"] == "2/2"
+
+
+def test_cli_campaign_subcommand_launches_and_reports(tmp_path, capsys):
+    from repro.__main__ import main
+
+    db = str(tmp_path / "campaign.db")
+    base = ["campaign", "--db", db, "--quick", "--seeds", "1",
+            "--processes", "0"]
+    assert main(base) == 0
+    out = capsys.readouterr().out
+    assert "E18" in out and "campaign.db" in out
+    assert main(base + ["--report"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert len(report["cells"]) == 4
+    assert all(c["status"] == "done" for c in report["cells"])
+
+
+def test_cli_campaign_quick_rejects_explicit_grid_flags(tmp_path, capsys):
+    from repro.__main__ import main
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["campaign", "--db", str(tmp_path / "c.db"), "--quick",
+              "--n", "16"])
+    assert excinfo.value.code == 2
+    assert "--quick fixes the grid" in capsys.readouterr().err
