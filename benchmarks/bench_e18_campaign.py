@@ -24,7 +24,10 @@ CI's resume smoke exercises the durability story end to end::
     cmp resumed.json clean.json        # byte-identical or CI fails
 
 The report deliberately excludes wall-clock noise, so the comparison is
-exact; ``--quick`` shrinks the grid for CI.
+exact; ``--quick`` shrinks the grid for CI.  ``--processes`` composes
+with ``--timeout-per-cell`` (the deadline-aware pool), and
+``--compare-timeout-paths N`` additionally publishes serial-timeout vs
+pooled-timeout wall-clock (and report equality) in the JSON artifact.
 """
 
 from __future__ import annotations
@@ -33,6 +36,8 @@ import argparse
 import json
 import os
 import platform
+import shutil
+import tempfile
 import time
 
 from repro.experiments.campaign import CampaignRunner
@@ -53,6 +58,50 @@ def grid_axes(quick: bool) -> dict:
     )
 
 
+def compare_timeout_paths(
+    quick: bool, processes: int, cell_timeout: float, base_seed: int
+) -> dict:
+    """Wall-clock the serial-timeout path against the deadline pool.
+
+    Runs the same grid twice in throwaway stores — once with
+    ``processes=1`` (one worker process per cell, serially) and once
+    with the deadline-aware pool at ``processes`` width — under the
+    same generous per-cell budget, and also byte-compares the two
+    reports: parallelism under deadlines must never change the merged
+    outcomes, only the wall-clock.
+    """
+    axes = grid_axes(quick)
+    tmp = tempfile.mkdtemp(prefix="repro-e18-timing-")
+    timings: dict = {}
+    reports = {}
+    try:
+        for label, procs in (("serial", 1), ("pooled", processes)):
+            db = os.path.join(tmp, f"{label}.db")
+            runner = CampaignRunner(
+                consensus_sweep_cell,
+                db_path=db,
+                base_seed=base_seed,
+                processes=procs,
+                cell_timeout=cell_timeout,
+                extra_params={"sqlite_db": db},
+            )
+            start = time.perf_counter()
+            outcomes = runner.resume(**axes)
+            timings[f"{label}_seconds"] = time.perf_counter() - start
+            timings[f"{label}_cells"] = len(outcomes)
+            reports[label] = runner.report(**axes)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    timings["processes"] = processes
+    timings["cell_timeout"] = cell_timeout
+    timings["speedup"] = (
+        timings["serial_seconds"] / timings["pooled_seconds"]
+        if timings["pooled_seconds"] > 0 else None
+    )
+    timings["reports_identical"] = reports["serial"] == reports["pooled"]
+    return timings
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -67,6 +116,16 @@ def main() -> int:
     parser.add_argument("--max-cells", type=int, default=None,
                         help="run at most this many pending cells then "
                              "exit (deterministic interruption)")
+    parser.add_argument("--compare-timeout-paths", type=int, default=None,
+                        metavar="N",
+                        help="also wall-clock the serial timeout path "
+                             "against the deadline-aware pool at N "
+                             "workers (same grid, throwaway stores) and "
+                             "publish the comparison in the artifact")
+    parser.add_argument("--compare-timeout", type=float, default=60.0,
+                        help="per-cell budget for the comparison legs "
+                             "(default 60s — generous, so the runs "
+                             "measure dispatch, not timeouts)")
     parser.add_argument("--out", default=None,
                         help="write the bench JSON artifact here")
     parser.add_argument("--report-out", default=None,
@@ -107,6 +166,20 @@ def main() -> int:
           f"({ran / elapsed if elapsed > 0 else float('inf'):.1f} cells/s "
           "this pass)")
 
+    comparison = None
+    if args.compare_timeout_paths is not None:
+        comparison = compare_timeout_paths(
+            args.quick, args.compare_timeout_paths, args.compare_timeout,
+            args.base_seed,
+        )
+        print(
+            f"timeout paths: serial {comparison['serial_seconds']:.2f}s vs "
+            f"pooled({comparison['processes']}) "
+            f"{comparison['pooled_seconds']:.2f}s "
+            f"-> {comparison['speedup']:.2f}x, reports identical: "
+            f"{comparison['reports_identical']}"
+        )
+
     if args.out:
         artifact = {
             "benchmark": "e18_campaign",
@@ -120,6 +193,8 @@ def main() -> int:
             "elapsed_seconds": elapsed,
             "cells_per_second": (ran / elapsed) if elapsed > 0 else None,
         }
+        if comparison is not None:
+            artifact["timeout_paths"] = comparison
         with open(args.out, "w") as fh:
             json.dump(artifact, fh, indent=2, sort_keys=True)
             fh.write("\n")

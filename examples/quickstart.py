@@ -31,15 +31,22 @@ def main() -> None:
 
     # Scaling up: sweep a whole (n x detector x loss_rate x seed) grid
     # as a *resumable campaign* — every finished cell is checkpointed in
-    # a sqlite store, so an interrupted run continues where it stopped:
+    # a sqlite store, so an interrupted run continues where it stopped.
+    # --processes and --cell-timeout compose: a timed campaign runs on a
+    # deadline-aware worker pool (overruns are checkpointed timed_out
+    # while the grid keeps moving at full width), and failed cells are
+    # retried on resume only --max-retries times before they are left
+    # failed permanently:
     #
-    #   python -m repro campaign --db campaign.db --quick
+    #   python -m repro campaign --db campaign.db --quick \
+    #       --processes 4 --cell-timeout 30 --max-retries 2
     #   python -m repro campaign --db campaign.db --report
     #
     # or from code:
     #
     #   from repro.experiments import CampaignRunner, consensus_sweep_cell
-    #   runner = CampaignRunner(consensus_sweep_cell, db_path="campaign.db")
+    #   runner = CampaignRunner(consensus_sweep_cell, db_path="campaign.db",
+    #                           processes=4, cell_timeout=30.0)
     #   outcomes = runner.resume(n=[4, 8], detector=["0-OAC"],
     #                            loss_rate=[0.1, 0.3], trial=range(3))
     print("\nnext: resumable campaigns -> python -m repro campaign --help")

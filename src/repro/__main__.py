@@ -55,11 +55,21 @@ def _campaign_main(argv: list) -> int:
     parser.add_argument("--values", type=int, default=16, help="|V|")
     parser.add_argument("--quick", action="store_true",
                         help="shrink the grid for smoke runs")
-    parser.add_argument("--timeout", type=float, default=None,
-                        help="per-cell wall-clock timeout in seconds "
-                             "(overruns are checkpointed as timed_out)")
+    parser.add_argument("--cell-timeout", "--timeout", type=float,
+                        default=None, dest="cell_timeout",
+                        help="per-cell wall-clock timeout in seconds; "
+                             "overruns are checkpointed as timed_out. "
+                             "Composes with --processes: a timed "
+                             "campaign runs on the deadline-aware "
+                             "worker pool at full width")
     parser.add_argument("--processes", type=int, default=None,
-                        help="worker count (0/1 = serial in-process)")
+                        help="worker count (0/1 = serial; default: one "
+                             "per cpu), honored with and without "
+                             "--cell-timeout")
+    parser.add_argument("--max-retries", type=int, default=2,
+                        help="how many times a failed cell is re-run by "
+                             "later resumes before it is left failed "
+                             "permanently (default 2)")
     parser.add_argument("--max-cells", type=int, default=None,
                         help="run at most this many pending cells, then "
                              "stop (deterministic interruption; resume "
@@ -95,7 +105,8 @@ def _campaign_main(argv: list) -> int:
         runner = CampaignRunner(
             consensus_sweep_cell, db_path=args.db,
             base_seed=args.base_seed, processes=args.processes,
-            cell_timeout=args.timeout, extra_params={"sqlite_db": args.db},
+            cell_timeout=args.cell_timeout, max_retries=args.max_retries,
+            extra_params={"sqlite_db": args.db},
         )
         print(runner.report(
             n=ns, detector=detectors, loss_rate=loss_rates, trial=seeds,
@@ -106,8 +117,9 @@ def _campaign_main(argv: list) -> int:
     tables = run_campaign_matrix(
         db_path=args.db, ns=ns, detectors=detectors,
         loss_rates=loss_rates, seeds=seeds, base_seed=args.base_seed,
-        values=args.values, cell_timeout=args.timeout,
-        processes=args.processes, max_cells=args.max_cells,
+        values=args.values, cell_timeout=args.cell_timeout,
+        processes=args.processes, max_retries=args.max_retries,
+        max_cells=args.max_cells,
     )
     for table in tables:
         print(table.render())

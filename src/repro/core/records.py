@@ -154,7 +154,8 @@ CREATE TABLE IF NOT EXISTS cells (
     status     TEXT NOT NULL,
     payload    TEXT,
     error      TEXT,
-    elapsed    REAL
+    elapsed    REAL,
+    attempts   INTEGER NOT NULL DEFAULT 1
 );
 CREATE TABLE IF NOT EXISTS round_summaries (
     cell_seed       INTEGER NOT NULL,
@@ -224,6 +225,17 @@ class SqliteSink:
             conn.execute("PRAGMA journal_mode=WAL")
             conn.execute("PRAGMA synchronous=NORMAL")
             conn.executescript(_CAMPAIGN_SCHEMA)
+            # Migrate pre-`attempts` stores in place: every checkpointed
+            # cell in an old store ran exactly once as far as the retry
+            # budget is concerned, so the column backfills to 1.
+            cols = {
+                row[1] for row in conn.execute("PRAGMA table_info(cells)")
+            }
+            if "attempts" not in cols:
+                conn.execute(
+                    "ALTER TABLE cells ADD COLUMN attempts "
+                    "INTEGER NOT NULL DEFAULT 1"
+                )
             conn.commit()
             self._conn = conn
         return self._conn
@@ -341,15 +353,21 @@ class SqliteSink:
         payload_text: Optional[str] = None,
         error: Optional[str] = None,
         elapsed: Optional[float] = None,
+        attempts: int = 1,
     ) -> None:
-        """Checkpoint one finished cell (idempotent upsert, keyed on tag)."""
+        """Checkpoint one finished cell (idempotent upsert, keyed on tag).
+
+        ``attempts`` counts how many times the cell has run in total
+        (first run included); the campaign's retry budget reads it back
+        to decide whether a ``failed`` cell gets another pass.
+        """
         conn = self._connect()
         conn.execute(
             "INSERT OR REPLACE INTO cells "
             "(cell_tag, cell_seed, cell_index, params, status, payload, "
-            "error, elapsed) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            "error, elapsed, attempts) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
             (tag, int(seed), int(index), params_text, status,
-             payload_text, error, elapsed),
+             payload_text, error, elapsed, int(attempts)),
         )
         conn.commit()
 
@@ -358,7 +376,7 @@ class SqliteSink:
         wall-clock noise never leaks into resume decisions or reports)."""
         rows = self._connect().execute(
             "SELECT cell_tag, cell_seed, cell_index, params, status, "
-            "payload, error FROM cells"
+            "payload, error, attempts FROM cells"
         ).fetchall()
         return {
             tag: {
@@ -368,8 +386,10 @@ class SqliteSink:
                 "status": status,
                 "payload": payload,
                 "error": error,
+                "attempts": attempts,
             }
-            for tag, seed, index, params, status, payload, error in rows
+            for tag, seed, index, params, status, payload, error, attempts
+            in rows
         }
 
 

@@ -9,24 +9,38 @@ durable, cell-granular checkpoints in a single ``campaign.db``
 
 * **Checkpointing** — every finished cell is committed to the ``cells``
   table the moment it completes (in completion order, not submission
-  order, under the pooled path), keyed on its canonical coordinate tag.
+  order, under the pooled paths), keyed on its canonical coordinate tag.
   Killing the campaign at any point loses at most the cells still
-  in flight on the workers.
+  in flight on the workers.  Checkpointing a non-``done`` status also
+  clears the cell's ``round_summaries`` rows, so a killed or failed
+  attempt can never leave stale per-round data behind — even for
+  ``timed_out`` cells that will never re-run.
 * **Resume** — :meth:`CampaignRunner.resume` queries the store first and
   only runs cells that are not already checkpointed (``failed`` cells
-  are retried; ``done`` and ``timed_out`` cells are skipped).  Resume is
-  *idempotent*: with the same ``base_seed`` and the same grid, the
-  merged outcomes — and the byte content of :meth:`report` — are
-  identical whether the grid ran in one pass or across N interrupted
-  passes, because every payload is canonically JSON-serialised on the
-  way into the store and all merging reads back out of the store.
-* **Per-cell timeouts** — with ``cell_timeout`` set, each cell runs in
-  its own worker process; a cell that exceeds the wall-clock budget is
-  terminated and checkpointed as ``timed_out`` instead of killing the
-  grid.
+  are retried while their attempt count is within the ``max_retries``
+  budget; ``done`` and ``timed_out`` cells — and ``failed`` cells whose
+  budget is exhausted — are skipped).  Resume is *idempotent*: with the
+  same ``base_seed`` and the same grid, the merged outcomes — and the
+  byte content of :meth:`report` — are identical whether the grid ran
+  in one pass or across N interrupted passes, because every payload is
+  canonically JSON-serialised on the way into the store and all merging
+  reads back out of the store.
+* **Per-cell deadlines, in parallel** — with ``cell_timeout`` set the
+  grid runs on a *deadline-aware pool*: ``processes`` persistent worker
+  processes, each fed cells over a pipe while the parent tracks one
+  wall-clock deadline per in-flight cell.  A cell that exceeds its
+  budget has its worker terminated (terminate→kill escalation, so a
+  SIGTERM-ignoring cell cannot hang the grid) and **replaced**, keeping
+  the pool at full width while the cell is checkpointed ``timed_out``
+  and the grid keeps moving.  Timeouts therefore no longer serialise
+  the campaign; ``processes=0``/``1`` still forces the serial
+  one-worker-per-cell path.
 * **Failure isolation** — a cell that raises is checkpointed as
   ``failed`` (with the exception's repr) and the campaign moves on;
   unlike ``SweepRunner.run``, one bad cell never aborts the grid.
+  Each run increments the cell's ``attempts`` count; once a failed
+  cell has been run ``1 + max_retries`` times it is left permanently
+  ``failed`` — resume converges instead of re-crashing it forever.
 
 Seeds come from :func:`~repro.experiments.harness.cell_seed` over the
 grid coordinates only.  Infrastructure parameters that must not perturb
@@ -37,20 +51,20 @@ execution time but excluded from the tag, the seed, and the report's
 even when their databases live in different directories.  Byte-stable
 reports additionally need the *payload* to be a deterministic function
 of ``(grid params, seed)`` — ``consensus_sweep_cell`` satisfies this
-for ``sqlite_db`` but embeds the sink path in its payload under
-``sink_dir``, so campaigns comparing reports across machines should
-stream rounds via ``sqlite_db`` rather than ``sink_dir``.
+for both ``sqlite_db`` and ``sink_dir`` (the payload records only the
+sink file's basename, never the absolute path, so reports agree across
+machines).
 
 Example::
 
     runner = CampaignRunner(
         consensus_sweep_cell, db_path="campaign.db", base_seed=7,
-        cell_timeout=30.0,
+        processes=4, cell_timeout=30.0,
     )
     outcomes = runner.resume(
         n=[4, 16], detector=["0-OAC", "maj-OAC"], loss_rate=[0.1, 0.3],
         trial=range(5),
-    )                       # first call: runs everything
+    )                       # first call: runs everything, 4 cells at a time
     outcomes = runner.resume(
         n=[4, 16], detector=["0-OAC", "maj-OAC"], loss_rate=[0.1, 0.3],
         trial=range(5),
@@ -66,12 +80,15 @@ clobber each other's ``(cell_seed, round)`` rows in the shared
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import json
 import multiprocessing
+import os
 import pickle
 import time
 import warnings
+from multiprocessing import connection as mp_connection
 from typing import (
     Any,
     Callable,
@@ -86,13 +103,22 @@ from typing import (
 
 from ..core.errors import ConfigurationError
 from ..core.records import SqliteSink
-from .harness import SweepCell, SweepRunner, _canonical
+from .harness import (
+    SweepCell,
+    SweepRunner,
+    _canonical,
+    execute_cell_job,
+    probe_worker_processes,
+)
 
 #: Cell statuses a resume does not re-run.
 SKIP_STATUSES: Tuple[str, ...] = ("done", "timed_out")
 
-#: Cell statuses a resume retries.
+#: Cell statuses a resume retries (subject to the ``max_retries`` budget).
 RETRY_STATUSES: Tuple[str, ...] = ("failed",)
+
+#: Grace period before a terminate escalates to kill.
+_TERM_GRACE: float = 5.0
 
 
 def cell_tag(cell: SweepCell) -> str:
@@ -122,13 +148,15 @@ class CampaignOutcome:
     returned (``None`` unless ``status == "done"``): int dict keys
     become strings, tuples become lists — identical whether the cell ran
     in this pass or a previous one, which is what makes resumed reports
-    byte-stable.
+    byte-stable.  ``attempts`` counts how many times the cell has run
+    in total (retries included).
     """
 
     cell: SweepCell
     status: str
     payload: Any = None
     error: Optional[str] = None
+    attempts: int = 1
 
     @property
     def params(self) -> Dict[str, Any]:
@@ -136,10 +164,10 @@ class CampaignOutcome:
 
 
 def _campaign_cell_worker(conn, fn, params: Dict[str, Any], seed: int) -> None:
-    """Timeout-mode worker: run one cell, ship (status, payload, error)."""
+    """Serial-timeout worker: run one cell, ship (status, payload, error)."""
     try:
-        payload = fn(params, seed)
-        conn.send(("done", payload, None))
+        status, payload, error, _ = execute_cell_job(fn, params, seed)
+        conn.send((status, payload, error))
     except BaseException as exc:  # checkpointed as failed, never fatal
         try:
             conn.send(("failed", None, repr(exc)))
@@ -160,13 +188,101 @@ def _run_campaign_job(
     being attributable to their cell.
     """
     fn, cell, extra = job
-    start = time.monotonic()
+    status, payload, error, elapsed = execute_cell_job(
+        fn, cell.as_dict(), cell.seed, extra
+    )
+    return (cell.index, status, payload, error, elapsed)
+
+
+def _deadline_pool_worker(conn, fn, extra: Dict[str, Any]) -> None:
+    """Persistent deadline-pool worker: loop over jobs fed by the parent.
+
+    Protocol: the parent sends ``(cell_index, params, seed)`` tuples,
+    strictly one in flight per worker, and a ``None`` sentinel to shut
+    down; the worker answers each job with ``(cell_index, status,
+    payload, error, elapsed)`` and never raises for a cell's own
+    exception (``BaseException`` included — a cell calling
+    ``sys.exit`` is checkpointed ``failed`` with the same ``repr`` the
+    serial path would record, never "worker died").  An overrun worker
+    is simply terminated by the parent — no cooperation required — and
+    a fresh worker takes its place.
+
+    Sibling workers fork-inherit the parent's end of this worker's
+    pipe, so a hard-killed parent (SIGKILL, OOM) never produces an EOF
+    here; the recv poll therefore watches for re-parenting and exits
+    when the parent is gone, so idle workers can't outlive a killed
+    campaign as orphans.
+    """
+    parent_pid = os.getppid()
     try:
-        payload = fn(dict(cell.as_dict(), **extra), cell.seed)
-    except Exception as exc:
-        return (cell.index, "failed", None, repr(exc),
-                time.monotonic() - start)
-    return (cell.index, "done", payload, None, time.monotonic() - start)
+        while True:
+            while not conn.poll(1.0):
+                if os.getppid() != parent_pid:
+                    return  # parent died without an EOF; don't orphan
+            try:
+                job = conn.recv()
+            except (EOFError, OSError):
+                break
+            if job is None:
+                break
+            index, params, seed = job
+            exit_after = False
+            try:
+                status, payload, error, elapsed = execute_cell_job(
+                    fn, params, seed, extra
+                )
+            except BaseException as exc:  # SystemExit/KeyboardInterrupt
+                status, payload, error, elapsed = (
+                    "failed", None, repr(exc), 0.0
+                )
+                exit_after = isinstance(exc, KeyboardInterrupt)
+            try:
+                conn.send((index, status, payload, error, elapsed))
+            except (BrokenPipeError, OSError):
+                break
+            if exit_after:
+                break  # interrupted: let the parent replace this worker
+    finally:
+        conn.close()
+
+
+class _PoolWorker:
+    """Parent-side handle on one deadline-pool worker process."""
+
+    __slots__ = ("proc", "conn")
+
+    def __init__(self, proc: multiprocessing.Process, conn) -> None:
+        self.proc = proc
+        self.conn = conn
+
+    def stop(self) -> None:
+        """Terminate→kill escalation; never returns with a live process."""
+        try:
+            self.conn.close()
+        except Exception:
+            pass
+        self.proc.terminate()
+        self.proc.join(_TERM_GRACE)
+        if self.proc.is_alive():
+            # SIGTERM caught/ignored or the cell is stuck in
+            # uninterruptible C code — escalate so one cell can never
+            # hang the grid.
+            self.proc.kill()
+            self.proc.join()
+
+    def shutdown(self) -> None:
+        """Graceful exit for an idle worker (sentinel, then escalate)."""
+        try:
+            self.conn.send(None)
+        except Exception:
+            pass
+        try:
+            self.conn.close()
+        except Exception:
+            pass
+        self.proc.join(_TERM_GRACE)
+        if self.proc.is_alive():
+            self.stop()
 
 
 class CampaignRunner:
@@ -185,14 +301,25 @@ class CampaignRunner:
     base_seed:
         Folded into every cell's deterministic seed.
     processes:
-        Worker count for the no-timeout parallel path (``None`` picks
-        ``min(cells, cpu_count)``; ``0``/``1`` forces serial).
+        Worker count for both parallel paths (``None`` picks
+        ``min(cells, cpu_count)``; ``0``/``1`` forces serial).  Composes
+        with ``cell_timeout``: a timed campaign with ``processes`` > 1
+        runs on the deadline-aware pool at full width.
     cell_timeout:
-        Per-cell wall-clock budget in seconds.  When set, each cell runs
-        in its own worker process (serially) so an overrunning cell can
-        be terminated and checkpointed as ``timed_out``.  When worker
+        Per-cell wall-clock budget in seconds.  Overrunning cells are
+        terminated (terminate→kill escalation) and checkpointed as
+        ``timed_out`` while the grid keeps moving — on the
+        deadline-aware pool when ``processes`` allows parallelism, or
+        one worker process per cell serially otherwise.  When worker
         processes are unavailable (sandboxed platforms), cells run
         in-process with a warning and the timeout is not enforced.
+    max_retries:
+        How many times a ``failed`` cell may be *re*-run by later
+        resumes (default 2, i.e. at most ``1 + max_retries`` total
+        attempts).  A cell that exhausts the budget stays ``failed``
+        permanently and is skipped, so resuming a campaign with a
+        deterministically-crashing cell converges instead of busy-work
+        retrying forever.
     extra_params:
         Non-coordinate parameters merged into ``params`` at execution
         time only — excluded from seeding, cell identity, and reports.
@@ -205,6 +332,7 @@ class CampaignRunner:
         base_seed: int = 0,
         processes: Optional[int] = None,
         cell_timeout: Optional[float] = None,
+        max_retries: int = 2,
         extra_params: Optional[Mapping[str, Any]] = None,
     ) -> None:
         self.cell_fn = cell_fn
@@ -212,6 +340,11 @@ class CampaignRunner:
         self.base_seed = base_seed
         self.processes = processes
         self.cell_timeout = cell_timeout
+        if max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {max_retries}"
+            )
+        self.max_retries = int(max_retries)
         self.extra_params = dict(extra_params or {})
         self._sweep = SweepRunner(cell_fn, processes=processes,
                                   base_seed=base_seed)
@@ -246,6 +379,7 @@ class CampaignRunner:
         with SqliteSink(self.db_path) as store:
             existing = store.get_cells()
             pending = []
+            prior_attempts: Dict[int, int] = {}
             for cell in cells:
                 tag = cell_tag(cell)
                 row = existing.get(tag)
@@ -259,11 +393,18 @@ class CampaignRunner:
                         )
                     if row["status"] in SKIP_STATUSES:
                         continue
+                    if (row["status"] in RETRY_STATUSES
+                            and row["attempts"] > self.max_retries):
+                        # Retry budget exhausted: 1 + max_retries runs
+                        # already happened; the cell stays failed
+                        # permanently and resume converges.
+                        continue
+                    prior_attempts[cell.index] = row["attempts"]
                 pending.append(cell)
             if max_cells is not None:
                 pending = pending[:max_cells]
             if pending:
-                self._run_pending(store, pending)
+                self._run_pending(store, pending, prior_attempts)
             return self._merge(store, cells)
 
     # ------------------------------------------------------------------
@@ -275,7 +416,15 @@ class CampaignRunner:
         payload: Any = None,
         error: Optional[str] = None,
         elapsed: Optional[float] = None,
+        attempts: int = 1,
     ) -> None:
+        if status != "done":
+            # The dead attempt may have streamed partial rounds into the
+            # store before it was killed (timeout) or raised (failure);
+            # clear them *now* — a timed_out cell is never re-run, so
+            # the pre-run sweep in _run_pending would never reach it and
+            # the stale rows would otherwise live forever.
+            store.clear_rounds(cell.seed)
         store.record_cell(
             tag=cell_tag(cell),
             seed=cell.seed,
@@ -285,24 +434,63 @@ class CampaignRunner:
             payload_text=_payload_text(payload) if status == "done" else None,
             error=error,
             elapsed=elapsed,
+            attempts=attempts,
         )
 
     def _run_pending(
-        self, store: SqliteSink, pending: Sequence[SweepCell]
+        self,
+        store: SqliteSink,
+        pending: Sequence[SweepCell],
+        prior_attempts: Mapping[int, int],
     ) -> None:
         # A pending cell may have streamed rounds in a killed or failed
         # earlier attempt; clear them so stale rows can never linger
         # past the new attempt's final round.
         for cell in pending:
             store.clear_rounds(cell.seed)
+        attempts = {
+            cell.index: prior_attempts.get(cell.index, 0) + 1
+            for cell in pending
+        }
         if self.cell_timeout is not None:
-            self._run_with_timeouts(store, pending)
+            store.disconnect()  # no sqlite connection may cross the forks
+            try:
+                probe_worker_processes()
+            except Exception as exc:
+                warnings.warn(
+                    f"CampaignRunner: worker processes unavailable "
+                    f"({exc!r}); running cells in-process — per-cell "
+                    "timeouts are NOT enforced",
+                    RuntimeWarning,
+                    stacklevel=4,
+                )
+                for cell in pending:
+                    index, status, payload, error, elapsed = (
+                        _run_campaign_job(
+                            (self.cell_fn, cell, self.extra_params)
+                        )
+                    )
+                    self._checkpoint(store, cell, status, payload=payload,
+                                     error=error, elapsed=elapsed,
+                                     attempts=attempts[index])
+                return
+            width = self.processes
+            if width is None:
+                width = multiprocessing.cpu_count() or 1
+            width = min(len(pending), int(width))
+            if width > 1 and self._cell_fn_picklable():
+                self._run_deadline_pool(store, pending, attempts, width)
+            else:
+                self._run_with_timeouts(store, pending, attempts)
         else:
-            self._run_pooled(store, pending)
+            self._run_pooled(store, pending, attempts)
 
     # -- no-timeout path: pool fan-out, checkpoint as results arrive ----
     def _run_pooled(
-        self, store: SqliteSink, pending: Sequence[SweepCell]
+        self,
+        store: SqliteSink,
+        pending: Sequence[SweepCell],
+        attempts: Mapping[int, int],
     ) -> None:
         jobs = [(self.cell_fn, cell, self.extra_params) for cell in pending]
         workers = self.processes
@@ -325,9 +513,10 @@ class CampaignRunner:
                 )
         if pool is None:
             for job in jobs:
-                _, status, payload, error, elapsed = _run_campaign_job(job)
+                index, status, payload, error, elapsed = _run_campaign_job(job)
                 self._checkpoint(store, job[1], status, payload=payload,
-                                 error=error, elapsed=elapsed)
+                                 error=error, elapsed=elapsed,
+                                 attempts=attempts[index])
             return
         # imap_unordered checkpoints every cell the moment it completes:
         # a kill mid-grid loses only cells still in flight, never a
@@ -341,43 +530,161 @@ class CampaignRunner:
             ):
                 self._checkpoint(store, by_index[index], status,
                                  payload=payload, error=error,
-                                 elapsed=elapsed)
+                                 elapsed=elapsed, attempts=attempts[index])
 
-    # -- timeout path: one worker process per cell ----------------------
-    def _run_with_timeouts(
-        self, store: SqliteSink, pending: Sequence[SweepCell]
-    ) -> None:
-        store.disconnect()  # no sqlite connection may cross the forks below
+    # -- deadline-aware pool: parallel fan-out under per-cell budgets ---
+    def _cell_fn_picklable(self) -> bool:
+        """Can the cell function cross a process boundary by pickling?
+
+        The serial timeout path inherits the function over the fork, so
+        an unpicklable cell only forfeits the pool's parallelism (with a
+        warning), never the timeout enforcement itself.
+        """
         try:
-            self._probe_worker()
+            pickle.dumps((self.cell_fn, self.extra_params))
         except Exception as exc:
             warnings.warn(
-                f"CampaignRunner: worker processes unavailable ({exc!r}); "
-                "running cells in-process — per-cell timeouts are NOT "
-                "enforced",
+                f"CampaignRunner: deadline pool unavailable ({exc!r}); "
+                "falling back to one worker process per cell",
                 RuntimeWarning,
-                stacklevel=3,
+                stacklevel=5,
             )
-            for cell in pending:
-                _, status, payload, error, elapsed = _run_campaign_job(
-                    (self.cell_fn, cell, self.extra_params)
+            return False
+        return True
+
+    def _spawn_pool_worker(self, store: SqliteSink) -> _PoolWorker:
+        # Checkpointing between jobs reopens the store; always drop the
+        # connection again before forking a worker (or a replacement).
+        store.disconnect()
+        parent_conn, child_conn = multiprocessing.Pipe()
+        proc = multiprocessing.Process(
+            target=_deadline_pool_worker,
+            args=(child_conn, self.cell_fn, self.extra_params),
+        )
+        proc.start()
+        child_conn.close()
+        return _PoolWorker(proc, parent_conn)
+
+    def _run_deadline_pool(
+        self,
+        store: SqliteSink,
+        pending: Sequence[SweepCell],
+        attempts: Mapping[int, int],
+        width: int,
+    ) -> None:
+        """Fan ``pending`` over ``width`` persistent workers with deadlines.
+
+        The parent owns all bookkeeping: it feeds each idle worker one
+        cell, stamps the cell's wall-clock deadline, multiplexes on the
+        worker pipes with :func:`multiprocessing.connection.wait`, and
+        checkpoints results in completion order.  A worker that overruns
+        its cell's deadline is stopped (terminate→kill) and replaced so
+        the pool never narrows; its cell is checkpointed ``timed_out``
+        and the grid keeps moving.  A worker that dies mid-cell (OOM
+        kill, hard crash) checkpoints the cell ``failed`` and is
+        replaced the same way.
+        """
+        queue = collections.deque(pending)
+        workers: List[_PoolWorker] = [
+            self._spawn_pool_worker(store) for _ in range(width)
+        ]
+        # worker -> (cell, started, deadline) for in-flight cells.
+        busy: Dict[_PoolWorker, Tuple[SweepCell, float, float]] = {}
+
+        def replace(worker: _PoolWorker) -> None:
+            workers.remove(worker)
+            worker.stop()
+            workers.append(self._spawn_pool_worker(store))
+
+        def finish(worker: _PoolWorker, cell: SweepCell,
+                   started: float) -> None:
+            """Collect one result from a readable worker and checkpoint."""
+            try:
+                _, status, payload, error, elapsed = worker.conn.recv()
+            except (EOFError, OSError):
+                # The worker died without shipping a result.
+                self._checkpoint(
+                    store, cell, "failed",
+                    error="worker died without a result",
+                    elapsed=time.monotonic() - started,
+                    attempts=attempts[cell.index],
                 )
-                self._checkpoint(store, cell, status, payload=payload,
-                                 error=error, elapsed=elapsed)
-            return
+                replace(worker)
+                return
+            self._checkpoint(store, cell, status, payload=payload,
+                             error=error, elapsed=elapsed,
+                             attempts=attempts[cell.index])
+
+        try:
+            while queue or busy:
+                for worker in list(workers):
+                    if worker in busy or not queue:
+                        continue
+                    cell = queue.popleft()
+                    try:
+                        worker.conn.send(
+                            (cell.index, cell.as_dict(), cell.seed)
+                        )
+                    except (BrokenPipeError, OSError):
+                        # Worker died while idle; requeue and replace.
+                        queue.appendleft(cell)
+                        replace(worker)
+                        continue
+                    now = time.monotonic()
+                    busy[worker] = (cell, now, now + self.cell_timeout)
+                if not busy:
+                    continue
+                wait_for = max(
+                    0.0,
+                    min(d for _, _, d in busy.values()) - time.monotonic(),
+                )
+                ready = mp_connection.wait(
+                    [w.conn for w in busy], wait_for
+                )
+                by_conn = {w.conn: w for w in busy}
+                for conn in ready:
+                    worker = by_conn[conn]
+                    cell, started, _ = busy.pop(worker)
+                    finish(worker, cell, started)
+                now = time.monotonic()
+                for worker in [
+                    w for w, (_, _, d) in busy.items() if now >= d
+                ]:
+                    cell, started, _ = busy.pop(worker)
+                    if worker.conn.poll():
+                        # The result landed between the wait and the
+                        # deadline sweep — a result in hand always beats
+                        # the deadline.
+                        finish(worker, cell, started)
+                        continue
+                    replace(worker)
+                    self._checkpoint(
+                        store, cell, "timed_out",
+                        elapsed=time.monotonic() - started,
+                        attempts=attempts[cell.index],
+                    )
+        finally:
+            for worker in workers:
+                if worker in busy:
+                    worker.stop()
+                else:
+                    worker.shutdown()
+
+    # -- serial timeout path: one worker process per cell ----------------
+    def _run_with_timeouts(
+        self,
+        store: SqliteSink,
+        pending: Sequence[SweepCell],
+        attempts: Mapping[int, int],
+    ) -> None:
+        # Worker availability was already probed by _run_pending.
         for cell in pending:
             start = time.monotonic()
             store.disconnect()  # checkpointing reopened it; drop pre-fork
             status, payload, error = self._run_one_with_timeout(cell)
             self._checkpoint(store, cell, status, payload=payload,
-                             error=error, elapsed=time.monotonic() - start)
-
-    @staticmethod
-    def _probe_worker() -> None:
-        """Raise when this platform cannot start worker processes."""
-        proc = multiprocessing.Process(target=_noop)
-        proc.start()
-        proc.join()
+                             error=error, elapsed=time.monotonic() - start,
+                             attempts=attempts[cell.index])
 
     def _run_one_with_timeout(self, cell: SweepCell):
         parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
@@ -399,13 +706,13 @@ class CampaignRunner:
                 # The result is in hand; never let a worker that won't
                 # exit (stray non-daemon thread, blocking atexit hook)
                 # stall the grid.
-                proc.join(5.0)
+                proc.join(_TERM_GRACE)
                 if proc.is_alive():
                     proc.kill()
                     proc.join()
                 return status, payload, error
             proc.terminate()
-            proc.join(5.0)
+            proc.join(_TERM_GRACE)
             if proc.is_alive():
                 # SIGTERM caught or the cell is stuck in uninterruptible
                 # C code — escalate so one cell can never hang the grid.
@@ -449,6 +756,7 @@ class CampaignRunner:
                     if row["payload"] is not None else None
                 ),
                 error=row["error"],
+                attempts=row["attempts"],
             ))
         return merged
 
@@ -461,9 +769,13 @@ class CampaignRunner:
         """A canonical JSON report of the campaign's merged outcomes.
 
         Byte-identical across any interrupt/resume schedule of the same
-        grid: cell order is grid order, every payload went through the
-        same canonical serialisation, and wall-clock noise (elapsed
-        times) is excluded.
+        grid, provided every cell completes (``done``/``timed_out``):
+        cell order is grid order, every payload went through the same
+        canonical serialisation, and wall-clock noise (elapsed times)
+        is excluded.  Each cell surfaces its ``attempts`` count, so
+        exhausted retry budgets are visible straight from the report —
+        which also means a *failed* cell's report depends on how many
+        resumes retried it, exactly like its eventual success would.
         """
         merged = self.outcomes(**axes)
         return json.dumps(
@@ -477,6 +789,7 @@ class CampaignRunner:
                         "status": o.status,
                         "payload": o.payload,
                         "error": o.error,
+                        "attempts": o.attempts,
                     }
                     for o in merged
                 ],
@@ -485,7 +798,3 @@ class CampaignRunner:
             default=str,
             indent=1,
         )
-
-
-def _noop() -> None:
-    """Target for the worker-availability probe."""

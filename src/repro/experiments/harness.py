@@ -60,13 +60,16 @@ checkpoints in one sqlite ``campaign.db``
   ``(cell_seed, round)`` that cells stream per-round aggregates into
   (pass ``sqlite_db`` to :func:`consensus_sweep_cell`).
 * **Resume semantics** — ``resume()`` queries the store and runs only
-  unfinished cells (``failed`` retried, ``done``/``timed_out``
-  skipped).  Same ``base_seed`` + same grid ⇒ the merged outcomes and
-  ``report()`` bytes are identical whether the campaign ran in one pass
-  or across N interrupted passes.
-* **Timeout behavior** — with ``cell_timeout`` set, each cell runs in
-  its own worker process; an overrunning cell is terminated and
-  checkpointed ``timed_out`` instead of killing the grid.
+  unfinished cells (``failed`` retried up to a ``max_retries`` budget,
+  ``done``/``timed_out`` skipped).  Same ``base_seed`` + same grid ⇒
+  the merged outcomes and ``report()`` bytes are identical whether the
+  campaign ran in one pass or across N interrupted passes.
+* **Timeout behavior** — with ``cell_timeout`` set, cells run on a
+  deadline-aware pool of persistent worker processes (``processes``
+  wide; timeouts no longer serialise the grid); an overrunning cell's
+  worker is terminated (terminate→kill escalation) and *replaced* so
+  the pool stays at full width, while the cell is checkpointed
+  ``timed_out`` instead of killing the grid.
 
 ``python -m repro campaign`` launches/resumes a campaign from the
 command line; E18 (``repro.experiments.matrix.run_campaign_matrix``)
@@ -81,6 +84,7 @@ import itertools
 import multiprocessing
 import os
 import pickle
+import time
 import warnings
 from typing import (
     Any,
@@ -270,6 +274,43 @@ def _run_sweep_cell(job: Tuple[Callable[..., Any], SweepCell]) -> SweepOutcome:
     return SweepOutcome(cell=cell, payload=fn(cell.as_dict(), cell.seed))
 
 
+# ----------------------------------------------------------------------
+# Shared worker/job plumbing (used by the campaign layer's dispatch
+# paths: serial, pooled, per-cell timeout workers, and the
+# deadline-aware pool — one execution contract everywhere)
+# ----------------------------------------------------------------------
+def execute_cell_job(
+    fn: Callable[[Dict[str, Any], int], Any],
+    params: Mapping[str, Any],
+    seed: int,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> Tuple[str, Any, Optional[str], float]:
+    """Run one cell function, never letting its exception escape.
+
+    Returns ``(status, payload, error, elapsed)`` with status ``done``
+    or ``failed`` — the single execution contract shared by every
+    campaign dispatch path, so a cell behaves identically whether it ran
+    serially in-process, on a pool worker, or under a deadline.
+    """
+    start = time.monotonic()
+    try:
+        payload = fn(dict(params, **(extra or {})), seed)
+    except Exception as exc:
+        return ("failed", None, repr(exc), time.monotonic() - start)
+    return ("done", payload, None, time.monotonic() - start)
+
+
+def probe_worker_processes() -> None:
+    """Raise when this platform cannot start worker processes."""
+    proc = multiprocessing.Process(target=_noop_worker)
+    proc.start()
+    proc.join()
+
+
+def _noop_worker() -> None:
+    """Target for :func:`probe_worker_processes` (module-level to pickle)."""
+
+
 class SweepRunner:
     """Fan a grid of experiment cells across ``multiprocessing`` workers.
 
@@ -372,9 +413,10 @@ def consensus_sweep_cell(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     ``<sink_dir>/cell-<seed>-<tag>.jsonl`` via a
     :class:`~repro.core.records.JsonlSink`, so even ``NONE``-policy
     campaigns leave a durable per-round trail without holding rounds in
-    memory; ``tag`` is derived from the full coordinate dict, so cells
-    sharing an explicit ``seed`` axis value still get distinct files —
-    parallel workers never clobber each other), and ``sqlite_db`` (a
+    memory; ``tag`` is derived from the grid coordinates — infra paths
+    excluded — so cells sharing an explicit ``seed`` axis value still
+    get distinct files and parallel workers never clobber each other,
+    while the name itself is machine-independent), and ``sqlite_db`` (a
     database path: stream the same per-round summaries into the shared
     campaign store's ``round_summaries`` table via a
     :class:`~repro.core.records.SqliteSink` keyed on this cell's seed —
@@ -382,7 +424,9 @@ def consensus_sweep_cell(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     Both sinks open lazily, so a cell that raises before round 1 leaves
     no empty file (and no spurious rows) behind.  Returns a picklable
     dict with decisions, decision rounds, round count, and the consensus
-    report's verdicts.
+    report's verdicts; under ``sink_dir`` the payload records the sink
+    file's *basename* only (``sink_file``), keeping reports
+    byte-identical across machines whose sink directories differ.
     """
     from ..algorithms.alg2 import algorithm_2, termination_bound
     from ..core.consensus import evaluate
@@ -410,8 +454,14 @@ def consensus_sweep_cell(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     if sink_dir:
         os.makedirs(str(sink_dir), exist_ok=True)
         # Distinguish cells that share a seed (e.g. a fixed seed axis):
-        # fold every coordinate into the filename tag.
-        tag = cell_seed(seed, **params)
+        # fold every *grid* coordinate into the filename tag.  Infra
+        # paths are excluded so the filename — recorded in the payload —
+        # is identical no matter where the sinks or store live.
+        coords = {
+            k: v for k, v in params.items()
+            if k not in ("sink_dir", "sqlite_db")
+        }
+        tag = cell_seed(seed, **coords)
         sink_path = os.path.join(
             str(sink_dir), f"cell-{seed}-{tag:08x}.jsonl"
         )
@@ -440,5 +490,9 @@ def consensus_sweep_cell(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
         "decision_round": result.last_decision_round(),
     }
     if sink_path is not None:
-        payload["sink_path"] = sink_path
+        # The payload must be a deterministic function of (grid params,
+        # seed): record only the basename — never the absolute path — so
+        # reports over sink_dir-streaming campaigns are byte-identical
+        # across machines and directories.
+        payload["sink_file"] = os.path.basename(sink_path)
     return payload

@@ -219,6 +219,7 @@ def run_campaign_matrix(
     values: int = 16,
     cell_timeout: Optional[float] = None,
     processes: Optional[int] = None,
+    max_retries: int = 2,
     max_cells: Optional[int] = None,
 ) -> List[Table]:
     """E18: the E1 upper-bound matrix at scale, through the campaign layer.
@@ -232,6 +233,9 @@ def run_campaign_matrix(
     Re-running with the same ``db_path`` resumes: completed cells are
     read back instead of re-simulated, and an interrupted grid finishes
     from where it stopped with byte-identical merged outcomes.
+    ``processes`` and ``cell_timeout`` compose — a timed campaign runs
+    on the deadline-aware worker pool at full width — and ``failed``
+    cells are retried on resume only within the ``max_retries`` budget.
 
     One table row aggregates each (n, detector, loss_rate) combination
     over its seeds; ``db_path=None`` uses a throwaway store under the
@@ -246,7 +250,7 @@ def run_campaign_matrix(
     try:
         return _campaign_matrix_tables(
             db_path, ns, detectors, loss_rates, seeds, base_seed, values,
-            cell_timeout, processes, max_cells,
+            cell_timeout, processes, max_retries, max_cells,
             throwaway=throwaway is not None,
         )
     finally:
@@ -264,6 +268,7 @@ def _campaign_matrix_tables(
     values: int,
     cell_timeout: Optional[float],
     processes: Optional[int],
+    max_retries: int,
     max_cells: Optional[int],
     throwaway: bool = False,
 ) -> List[Table]:
@@ -273,6 +278,7 @@ def _campaign_matrix_tables(
         base_seed=base_seed,
         processes=processes,
         cell_timeout=cell_timeout,
+        max_retries=max_retries,
         extra_params={"sqlite_db": db_path},
     )
     # The seed axis is swept as ``trial``: each trial folds into the

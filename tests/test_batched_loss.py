@@ -424,9 +424,12 @@ def test_sweep_cell_streams_to_sink_dir(tmp_path):
          "sink_dir": str(tmp_path)},
         seed=123,
     )
-    assert "/cell-123-" in payload["sink_path"]
-    assert payload["sink_path"].endswith(".jsonl")
-    lines = open(payload["sink_path"]).read().splitlines()
+    # The payload records the basename only — never the absolute path —
+    # so campaign reports stay byte-identical across machines.
+    assert payload["sink_file"].startswith("cell-123-")
+    assert payload["sink_file"].endswith(".jsonl")
+    assert str(tmp_path) not in json.dumps(payload, default=str)
+    lines = (tmp_path / payload["sink_file"]).read_text().splitlines()
     assert len(lines) == payload["rounds"]
     # Cells sharing an explicit seed but differing in coordinates must
     # stream to distinct files (parallel workers never clobber).
@@ -435,7 +438,7 @@ def test_sweep_cell_streams_to_sink_dir(tmp_path):
          "sink_dir": str(tmp_path)},
         seed=123,
     )
-    assert other["sink_path"] != payload["sink_path"]
+    assert other["sink_file"] != payload["sink_file"]
 
 
 # ----------------------------------------------------------------------

@@ -10,10 +10,18 @@ Covers the PR's durability contract end to end:
   exception path);
 * ``CampaignRunner.resume`` is idempotent — interrupting after any
   prefix of cells and resuming yields a report byte-identical to an
-  uninterrupted single-pass run (and to a pooled run);
+  uninterrupted single-pass run (and to a pooled run, with or without
+  deadlines);
 * per-cell timeouts checkpoint ``timed_out`` instead of killing the
-  grid; ``failed`` cells are retried on resume; a store created under a
-  different base_seed is rejected loudly.
+  grid — in parallel on the deadline-aware pool when ``processes`` > 1
+  (overrun workers are replaced, SIGTERM-ignoring cells cannot hang the
+  grid, and the pool beats the serial timeout path by >= 2x on sleepy
+  grids);
+* a killed or failed attempt leaves zero rows in ``round_summaries``;
+* ``failed`` cells are retried on resume only within the
+  ``max_retries`` budget (``attempts`` is migrated into pre-existing
+  stores in place); a store created under a different base_seed is
+  rejected loudly.
 """
 
 from __future__ import annotations
@@ -21,6 +29,8 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import signal
+import sqlite3
 import time
 
 import pytest
@@ -307,6 +317,273 @@ def test_failed_cells_are_checkpointed_and_retried_on_resume(tmp_path):
     open(flag, "w").close()
     outcomes = runner.resume(trial=[0, 1])
     assert [o.status for o in outcomes] == ["done", "done"]
+
+
+# ----------------------------------------------------------------------
+# The deadline-aware pool: parallel fan-out under per-cell budgets
+# ----------------------------------------------------------------------
+def _stubborn_cell(params, seed):
+    """Trial 1 ignores SIGTERM and sleeps far past any deadline."""
+    if params["trial"] == 1:
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        time.sleep(120)
+    return {"seed": seed, "trial": params["trial"]}
+
+
+def _napping_cell(params, seed):
+    """Every cell sleeps a fixed beat — wall-clock is pure dispatch."""
+    time.sleep(0.4)
+    return {"seed": seed, "trial": params["trial"]}
+
+
+def _streaming_cell(params, seed):
+    """Streams five rounds, then (by trial) returns, hangs, or raises."""
+    from repro.core.records import SqliteSink
+
+    with SqliteSink(params["db"], cell_seed=seed) as sink:
+        for r in range(1, 6):
+            sink(_summary(r, bc=7))
+    if params["trial"] == 1:
+        time.sleep(120)
+    if params["trial"] == 2:
+        raise RuntimeError("deterministic crash after streaming")
+    return {"seed": seed, "trial": params["trial"]}
+
+
+def test_deadline_pool_interrupt_resume_is_byte_identical(tmp_path):
+    """Kill a pooled+timed campaign mid-grid; resume must converge to
+    the same report bytes as a clean serial single pass."""
+    pooled = CampaignRunner(
+        consensus_sweep_cell, db_path=str(tmp_path / "pooled.db"),
+        base_seed=3, processes=2, cell_timeout=60.0,
+    )
+    first = pooled.resume(max_cells=3, **AXES)
+    assert len(first) == 3
+    assert all(o.status == "done" for o in first)
+    second = pooled.resume(**AXES)
+    assert len(second) == 8
+    assert all(o.status == "done" for o in second)
+
+    clean = _serial_runner(str(tmp_path / "clean.db"))
+    clean.resume(**AXES)
+    assert pooled.report(**AXES) == clean.report(**AXES)
+
+
+def test_deadline_pool_times_out_cells_in_parallel(tmp_path):
+    """Two sleepers on a 3-wide pool: both overrun concurrently, both
+    workers are replaced, and the grid keeps moving."""
+    runner = CampaignRunner(
+        _sleepy_cell, db_path=str(tmp_path / "campaign.db"),
+        base_seed=0, processes=3, cell_timeout=1.0,
+    )
+    start = time.monotonic()
+    outcomes = runner.resume(trial=[0, 1, 2])
+    elapsed = time.monotonic() - start
+    assert [o.status for o in outcomes] == ["done", "timed_out", "done"]
+    # The sleeper burned its budget concurrently with the other cells,
+    # not serially after them.
+    assert elapsed < 30
+    # Resume skips the timed-out cell rather than hanging on it again.
+    again = runner.resume(trial=[0, 1, 2])
+    assert [o.status for o in again] == ["done", "timed_out", "done"]
+
+
+def test_sigterm_ignoring_cell_cannot_hang_the_pool(tmp_path):
+    """terminate→kill escalation: a cell that ignores SIGTERM is still
+    evicted, its worker replaced, and every other cell completes."""
+    runner = CampaignRunner(
+        _stubborn_cell, db_path=str(tmp_path / "campaign.db"),
+        base_seed=0, processes=2, cell_timeout=1.0,
+    )
+    start = time.monotonic()
+    outcomes = runner.resume(trial=[0, 1, 2, 3])
+    elapsed = time.monotonic() - start
+    assert [o.status for o in outcomes] == [
+        "done", "timed_out", "done", "done"
+    ]
+    assert elapsed < 60
+    # The replacement worker (not the killed one) ran the later cells.
+    assert outcomes[2].payload["trial"] == 2
+    assert outcomes[3].payload["trial"] == 3
+
+
+def test_deadline_pool_beats_serial_timeout_path(tmp_path):
+    """8 napping cells: 4 pooled workers must finish the grid at least
+    2x faster than one worker process per cell, serially."""
+    trials = list(range(8))
+    serial = CampaignRunner(
+        _napping_cell, db_path=str(tmp_path / "serial.db"),
+        base_seed=0, processes=1, cell_timeout=30.0,
+    )
+    start = time.monotonic()
+    serial.resume(trial=trials)
+    serial_elapsed = time.monotonic() - start
+
+    pooled = CampaignRunner(
+        _napping_cell, db_path=str(tmp_path / "pooled.db"),
+        base_seed=0, processes=4, cell_timeout=30.0,
+    )
+    start = time.monotonic()
+    pooled.resume(trial=trials)
+    pooled_elapsed = time.monotonic() - start
+
+    assert pooled.report(trial=trials) == serial.report(trial=trials)
+    assert pooled_elapsed * 2 <= serial_elapsed, (
+        f"pooled {pooled_elapsed:.2f}s vs serial {serial_elapsed:.2f}s"
+    )
+
+
+@pytest.mark.parametrize("processes", [0, 4])
+def test_dead_attempts_leave_zero_round_rows(tmp_path, processes):
+    """A timed-out or failed attempt contributes nothing to
+    round_summaries — its partial rows are cleared at checkpoint time
+    (timed_out cells never re-run, so the pre-run sweep can't help)."""
+    db = str(tmp_path / "campaign.db")
+    runner = CampaignRunner(
+        _streaming_cell, db_path=db, base_seed=0, processes=processes,
+        cell_timeout=1.5, extra_params={"db": db},
+    )
+    outcomes = runner.resume(trial=[0, 1, 2])
+    assert [o.status for o in outcomes] == ["done", "timed_out", "failed"]
+    with SqliteSink(db) as sink:
+        done, hung, crashed = (o.cell.seed for o in outcomes)
+        # The completed attempt's rounds survive ...
+        assert len(sink.read_summaries(cell_seed=done)) == 5
+        # ... while killed and failed attempts leave zero rows.
+        assert sink.read_summaries(cell_seed=hung) == []
+        assert sink.read_summaries(cell_seed=crashed) == []
+
+
+# ----------------------------------------------------------------------
+# Retry budgets and the attempts migration
+# ----------------------------------------------------------------------
+def _counting_crash_cell(params, seed):
+    """Deterministically crashes, leaving one marker file per run."""
+    marker_dir = params["marker_dir"]
+    os.makedirs(marker_dir, exist_ok=True)
+    run = len(os.listdir(marker_dir))
+    open(os.path.join(marker_dir, f"run-{run}"), "w").close()
+    raise RuntimeError("always fails")
+
+
+def _trivial_cell(params, seed):
+    return {"seed": seed, "trial": params["trial"]}
+
+
+def test_retry_budget_makes_resume_converge(tmp_path):
+    marker_dir = str(tmp_path / "runs")
+    runner = CampaignRunner(
+        _counting_crash_cell, db_path=str(tmp_path / "campaign.db"),
+        base_seed=0, processes=0, max_retries=1,
+        extra_params={"marker_dir": marker_dir},
+    )
+    (first,) = runner.resume(trial=[0])
+    assert first.status == "failed" and first.attempts == 1
+    (second,) = runner.resume(trial=[0])
+    assert second.status == "failed" and second.attempts == 2
+    # Budget exhausted (1 + max_retries runs): the cell stays failed
+    # permanently and further resumes do no work at all.
+    for _ in range(3):
+        (done,) = runner.resume(trial=[0])
+        assert done.status == "failed" and done.attempts == 2
+    assert len(os.listdir(marker_dir)) == 2
+    assert "always fails" in done.error
+    # The report surfaces the attempt count.
+    report = json.loads(runner.report(trial=[0]))
+    assert report["cells"][0]["attempts"] == 2
+    assert report["cells"][0]["status"] == "failed"
+
+
+def test_attempts_within_budget_still_retry_to_success(tmp_path):
+    flag = str(tmp_path / "flag")
+    runner = CampaignRunner(
+        _flaky_cell, db_path=str(tmp_path / "campaign.db"),
+        base_seed=0, processes=0, max_retries=2,
+        extra_params={"flag": flag},
+    )
+    assert [o.attempts for o in runner.resume(trial=[0])] == [1]
+    open(flag, "w").close()
+    (outcome,) = runner.resume(trial=[0])
+    assert outcome.status == "done" and outcome.attempts == 2
+
+
+_PRE_ATTEMPTS_SCHEMA = """
+CREATE TABLE cells (
+    cell_tag   TEXT PRIMARY KEY,
+    cell_seed  INTEGER NOT NULL,
+    cell_index INTEGER NOT NULL,
+    params     TEXT NOT NULL,
+    status     TEXT NOT NULL,
+    payload    TEXT,
+    error      TEXT,
+    elapsed    REAL
+);
+CREATE TABLE round_summaries (
+    cell_seed       INTEGER NOT NULL,
+    round           INTEGER NOT NULL,
+    broadcast_count INTEGER NOT NULL,
+    crashed_during  TEXT NOT NULL,
+    decided_during  TEXT NOT NULL,
+    PRIMARY KEY (cell_seed, round)
+);
+"""
+
+
+def test_pre_attempts_store_is_migrated_in_place(tmp_path):
+    """A store written by the pre-`attempts` schema is readable: the
+    column is added in place and old rows backfill to attempts=1."""
+    db = str(tmp_path / "old.db")
+    runner = CampaignRunner(
+        _trivial_cell, db_path=db, base_seed=0, processes=0,
+    )
+    done_cell, pending_cell = runner.cells(trial=[0, 1])
+    conn = sqlite3.connect(db)
+    conn.executescript(_PRE_ATTEMPTS_SCHEMA)
+    conn.execute(
+        "INSERT INTO cells (cell_tag, cell_seed, cell_index, params, "
+        "status, payload, error, elapsed) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+        (cell_tag(done_cell), done_cell.seed, done_cell.index,
+         json.dumps(done_cell.as_dict()),
+         "done",
+         json.dumps({"seed": done_cell.seed, "trial": 0}, sort_keys=True),
+         None, 0.1),
+    )
+    conn.commit()
+    conn.close()
+
+    with SqliteSink(db) as store:
+        rows = store.get_cells()
+    assert rows[cell_tag(done_cell)]["attempts"] == 1
+
+    # Resume reads the migrated store: the old cell is skipped, the
+    # missing one runs, and both carry attempt counts.
+    outcomes = runner.resume(trial=[0, 1])
+    assert [o.status for o in outcomes] == ["done", "done"]
+    assert [o.attempts for o in outcomes] == [1, 1]
+    assert outcomes[0].payload == {"seed": done_cell.seed, "trial": 0}
+
+
+# ----------------------------------------------------------------------
+# Report portability across machines
+# ----------------------------------------------------------------------
+def test_report_is_independent_of_sink_dir(tmp_path):
+    """Two sink_dir-streaming campaigns in different directories must
+    produce identical report() bytes — payloads record the sink file's
+    basename, never the absolute path."""
+    small = dict(n=[3], detector=["0-OAC"], loss_rate=[0.1], trial=[0, 1],
+                 values=[8], record_policy=["summary"])
+    reports = []
+    for name in ("alpha", "beta"):
+        sink_dir = str(tmp_path / f"sinks_{name}")
+        runner = CampaignRunner(
+            consensus_sweep_cell, db_path=str(tmp_path / f"{name}.db"),
+            base_seed=3, processes=0, extra_params={"sink_dir": sink_dir},
+        )
+        runner.resume(**small)
+        reports.append(runner.report(**small))
+        assert f"sinks_{name}" not in reports[-1]
+    assert reports[0] == reports[1]
+    assert '"sink_file"' in reports[0]
 
 
 # ----------------------------------------------------------------------
