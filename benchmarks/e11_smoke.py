@@ -1,5 +1,6 @@
-"""Quick-mode E11 smoke benchmark: engine rounds/sec per record policy,
-plus per-adversary batched-vs-legacy loss-resolution throughput.
+"""Quick-mode E11 smoke benchmark: engine rounds/sec per record policy
+(vectorised kernel vs pure-python scalar path), plus per-adversary
+batched-vs-legacy loss-resolution throughput.
 
 Writes a small JSON artifact (default ``BENCH_e11.json``) so CI can track
 the engine's throughput trajectory from PR to PR without the full
@@ -9,11 +10,20 @@ pytest-benchmark machinery.  Usage::
 
 ``--quick`` shrinks repetitions for CI; omit it for steadier numbers.
 
-The per-adversary section runs every built-in loss adversary twice under
-``RecordPolicy.NONE``: once through its batched ``losses_for_round``
-override and once through the per-receiver fallback (the base-class
-default, which third-party adversaries still use), reporting both
-rounds/sec figures and the speedup ratio per adversary.
+Every record-policy row carries two figures: ``rounds_per_second`` is the
+engine as shipped (array round kernel active whenever numpy is — the
+number the CI regression guard tracks), ``scalar_rounds_per_second``
+forces ``use_array_kernel=False``, so the kernel's own win is visible as
+``kernel_speedup`` without leaving the artifact.
+
+The per-adversary section runs every built-in loss adversary three ways
+under ``RecordPolicy.NONE``: batched resolution on the array kernel
+(``batched_rounds_per_second``), batched resolution with the kernel
+forced off (``scalar_kernel_rounds_per_second``), and the per-receiver
+base-class fallback with the kernel off (``legacy_rounds_per_second`` —
+the path a third-party adversary without a batched override still
+takes).  CI gates on the ``capture`` row: the vectorised block-substream
+rework must hold >= 2x the pre-rework 829 rounds/sec figure.
 """
 
 from __future__ import annotations
@@ -36,7 +46,7 @@ from repro.adversary.loss import (
 )
 from repro.contention.services import NoContentionManager
 from repro.core.algorithm import Algorithm
-from repro.core.environment import Environment
+from repro.core.environment import Environment, array_kernel_module
 from repro.core.execution import ExecutionEngine
 from repro.core.process import ScriptedProcess
 from repro.core.records import RecordPolicy
@@ -92,8 +102,14 @@ def run_rounds(
     rounds: int,
     policy: RecordPolicy,
     loss: LossAdversary = None,
+    use_array_kernel=None,
 ) -> float:
-    """One timed raw-engine execution; returns elapsed seconds."""
+    """One timed raw-engine execution; returns elapsed seconds.
+
+    ``use_array_kernel`` passes through to the engine: ``None`` is the
+    shipped auto-gated behaviour, ``False`` pins the pure-python
+    reference path for the scalar comparison legs.
+    """
     env = Environment(
         indices=tuple(range(n)),
         detector=ZERO_AC.make(),
@@ -105,7 +121,8 @@ def run_rounds(
         lambda i: ScriptedProcess(["m"] * rounds), anonymous=False
     )
     engine = ExecutionEngine(
-        env, algo.spawn_all(env.indices), record_policy=policy
+        env, algo.spawn_all(env.indices), record_policy=policy,
+        use_array_kernel=use_array_kernel,
     )
     start = time.perf_counter()
     engine.run(rounds, until_all_decided=False)
@@ -126,58 +143,86 @@ def main() -> None:
     args = parser.parse_args()
 
     reps = 3 if args.quick else 7
+    kernel_active = array_kernel_module() is not None
     report = {
         "benchmark": "e11_engine_throughput_smoke",
         "n": args.n,
         "rounds": args.rounds,
         "repetitions": reps,
         "python": platform.python_version(),
+        "array_kernel": kernel_active,
         "results": {},
         "adversaries": {},
     }
+    print(f"array kernel: {'active' if kernel_active else 'off (pure python)'}")
     for policy in (RecordPolicy.FULL, RecordPolicy.SUMMARY, RecordPolicy.NONE):
-        timings = [run_rounds(args.n, args.rounds, policy) for _ in range(reps)]
-        best = min(timings)
+        best = min(
+            run_rounds(args.n, args.rounds, policy) for _ in range(reps)
+        )
+        scalar_best = min(
+            run_rounds(
+                args.n, args.rounds, policy, use_array_kernel=False
+            )
+            for _ in range(reps)
+        )
         report["results"][policy.value] = {
             "best_seconds": best,
             "rounds_per_second": args.rounds / best,
+            "scalar_best_seconds": scalar_best,
+            "scalar_rounds_per_second": args.rounds / scalar_best,
+            "kernel_speedup": scalar_best / best,
         }
         print(
             f"{policy.value:8s} best {best * 1000:8.1f} ms   "
-            f"{args.rounds / best:8.0f} rounds/s"
+            f"{args.rounds / best:8.0f} rounds/s   "
+            f"(scalar {args.rounds / scalar_best:8.0f} r/s, "
+            f"kernel {scalar_best / best:.2f}x)"
         )
 
     full = report["results"]["full"]["rounds_per_second"]
     summary = report["results"]["summary"]["rounds_per_second"]
     report["summary_over_full"] = summary / full
 
-    # Per-adversary batched vs per-receiver-fallback throughput (NONE
-    # mode: the loss resolution dominates, so the ratio isolates the
-    # batching win per adversary).
-    adv_reps = 2 if args.quick else 4
+    # Per-adversary batched vs scalar-kernel vs per-receiver-fallback
+    # throughput (NONE mode: the loss resolution dominates, so the
+    # ratios isolate the batching and kernel wins per adversary).
+    # Quick mode still takes min-of-3: the CI regression guard gates on
+    # these rows, and a single scheduling stall must not be able to
+    # masquerade as a >20% per-row regression.
+    adv_reps = 3 if args.quick else 4
     adv_rounds = max(50, args.rounds // 2)
-    print(f"\n{'adversary':10s} {'batched r/s':>12s} {'legacy r/s':>12s} "
-          f"{'speedup':>8s}")
+    print(f"\n{'adversary':10s} {'batched r/s':>12s} {'scalar r/s':>12s} "
+          f"{'legacy r/s':>12s} {'speedup':>8s}")
     for name, factory in _adversary_matrix(args.n).items():
         batched = min(
             run_rounds(args.n, adv_rounds, RecordPolicy.NONE, factory())
             for _ in range(adv_reps)
         )
+        scalar = min(
+            run_rounds(
+                args.n, adv_rounds, RecordPolicy.NONE, factory(),
+                use_array_kernel=False,
+            )
+            for _ in range(adv_reps)
+        )
         legacy = min(
             run_rounds(
                 args.n, adv_rounds, RecordPolicy.NONE,
-                PerReceiverFallback(factory()),
+                PerReceiverFallback(factory()), use_array_kernel=False,
             )
             for _ in range(adv_reps)
         )
         entry = {
             "batched_rounds_per_second": adv_rounds / batched,
+            "scalar_kernel_rounds_per_second": adv_rounds / scalar,
             "legacy_rounds_per_second": adv_rounds / legacy,
             "speedup": legacy / batched,
+            "kernel_speedup": scalar / batched,
         }
         report["adversaries"][name] = entry
         print(
             f"{name:10s} {entry['batched_rounds_per_second']:12.0f} "
+            f"{entry['scalar_kernel_rounds_per_second']:12.0f} "
             f"{entry['legacy_rounds_per_second']:12.0f} "
             f"{entry['speedup']:7.2f}x"
         )

@@ -49,6 +49,33 @@ def main() -> None:
     #                           processes=4, cell_timeout=30.0)
     #   outcomes = runner.resume(n=[4, 8], detector=["0-OAC"],
     #                            loss_rate=[0.1, 0.3], trial=range(3))
+    #
+    # Per-cell round analytics come straight out of the store as an
+    # aligned table (status, attempts, rounds, mean broadcast count):
+    #
+    #   python -m repro campaign report --table --db campaign.db
+    #
+    # Speed: the engine has a vectorised *array round kernel* — receive
+    # counts, detector advice, and the randomised adversaries' draws run
+    # as whole-round numpy array passes.  The gating contract:
+    #
+    # * the capability probe (repro.core.environment.array_kernel_module)
+    #   picks the kernel automatically when numpy is importable; no flag
+    #   needed, and without numpy everything runs pure python;
+    # * export REPRO_PURE_PYTHON=1 (before starting Python), or pass
+    #   use_array_kernel=False to ExecutionEngine/run_algorithm/
+    #   run_consensus, to force the pure-python reference path — e.g. to
+    #   reproduce the no-numpy CI leg locally;
+    # * both paths produce *indistinguishable executions* for the same
+    #   seeds, under every record policy (asserted by the equivalence
+    #   suite in tests/test_array_kernel.py);
+    # * determinism of the randomised adversaries is per backend:
+    #   executions replay bit-for-bit given (seed, backend).  In
+    #   particular CaptureEffectLoss's batched numpy path draws one
+    #   substream block per (seed, round, senders, receivers) — same
+    #   capture law as its per-receiver substreams, so statistics
+    #   agree across backends even though the concrete loss patterns
+    #   differ.
     print("\nnext: resumable campaigns -> python -m repro campaign --help")
 
 

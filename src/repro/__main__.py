@@ -10,6 +10,8 @@ Usage::
     # campaign over the (n x detector x loss_rate x seed) matrix:
     python -m repro campaign --db campaign.db --quick
     python -m repro campaign --db campaign.db --report   # no work, just JSON
+    python -m repro campaign report --table --db campaign.db
+                                  # aligned per-cell round analytics
 """
 
 from __future__ import annotations
@@ -37,6 +39,7 @@ def _campaign_main(argv: list) -> int:
         epilog=(
             "examples: python -m repro campaign --db campaign.db --quick"
             "  |  python -m repro campaign --db campaign.db --report"
+            "  |  python -m repro campaign report --table --db campaign.db"
         ),
     )
     parser.add_argument("--db", default="campaign.db",
@@ -76,8 +79,20 @@ def _campaign_main(argv: list) -> int:
                              "later with the same command)")
     parser.add_argument("--report", action="store_true",
                         help="print the canonical JSON report of what "
-                             "the store holds and exit without running")
+                             "the store holds and exit without running "
+                             "(also available as the 'report' "
+                             "subcommand: campaign report [--table])")
+    parser.add_argument("--table", action="store_true",
+                        help="with report mode: render an aligned-column "
+                             "table over the sqlite round_summaries "
+                             "(per-cell status, attempts, rounds, mean "
+                             "broadcast count) instead of JSON")
+    if argv and argv[0] == "report":
+        argv = ["--report"] + argv[1:]
     args = parser.parse_args(argv)
+    if args.table and not args.report:
+        parser.error("--table is a report view; use 'campaign report "
+                     "--table' (or add --report)")
 
     if args.quick:
         explicit = [name for name, value in
@@ -108,7 +123,8 @@ def _campaign_main(argv: list) -> int:
             cell_timeout=args.cell_timeout, max_retries=args.max_retries,
             extra_params={"sqlite_db": args.db},
         )
-        print(runner.report(
+        render = runner.report_table if args.table else runner.report
+        print(render(
             n=ns, detector=detectors, loss_rate=loss_rates, trial=seeds,
             values=[args.values], record_policy=["summary"],
         ))

@@ -23,6 +23,7 @@ from .crash import (
 )
 from .loss import (
     AlphaLoss,
+    ArrayRoundLosses,
     CaptureEffectLoss,
     ComposedLoss,
     EventualCollisionFreedom,
@@ -38,6 +39,7 @@ from .loss import (
 __all__ = [
     "LossAdversary",
     "ResolvedRoundLosses",
+    "ArrayRoundLosses",
     "ReliableDelivery",
     "SilenceLoss",
     "IIDLoss",

@@ -36,19 +36,27 @@ conventions let the engine amortise work across receivers:
   the per-element sender/self filtering and treats a receiver appearing
   in its own drop set as a model violation (a self-delivery breach,
   surfaced as :class:`~repro.core.errors.ModelViolation`).
+* **Array-backed mappings** — the numpy legs of the randomised built-ins
+  return an :class:`ArrayRoundLosses`: normalized like above, but with
+  the per-receiver *drop counts* precomputed as an int array and the
+  drop sets materialised lazily on first mapping access.  The engine's
+  array round kernel consumes the counts directly and, in
+  single-message rounds, never touches the sets at all.
 
 Determinism guarantees: the same seed and the same call sequence replay
 the same execution (the engine always enumerates receivers in index
 order, so engine-driven runs are reproducible end to end).  For the
 RNG-free adversaries the batched and per-receiver paths produce
-*identical* executions.  :class:`CaptureEffectLoss` goes further — its
-draws are a pure function of ``(seed, round, receiver)``, so its pattern
-is independent of how callers enumerate receivers.  :class:`IIDLoss`'s
-batched path consumes its stream in receiver-enumeration order: it draws
-a different (but equally seeded) stream than the per-receiver path, with
-the exact same Bernoulli(p) per-pair law, spending O(#losses) draws per
-round instead of O(n^2) (vectorised when numpy is available, geometric
-gap-skipping otherwise).
+*identical* executions.  :class:`CaptureEffectLoss`'s per-receiver draws
+are a pure function of ``(seed, round, receiver)``, so its per-receiver
+pattern is independent of how callers enumerate receivers; its batched
+numpy path draws one vectorised substream block per ``(seed, round)``
+instead — same capture law, different (still fully deterministic)
+pattern.  :class:`IIDLoss`'s batched path consumes its stream in
+receiver-enumeration order: it draws a different (but equally seeded)
+stream than the per-receiver path, with the exact same Bernoulli(p)
+per-pair law, spending O(#losses) draws per round instead of O(n^2)
+(vectorised when numpy is available, geometric gap-skipping otherwise).
 
 :class:`EventualCollisionFreedom` is the Property 1 wrapper: it delegates
 to an inner adversary until ``r_cf`` and thereafter forces delivery in
@@ -59,8 +67,10 @@ adversary's mercy — ECF promises nothing about them).
 from __future__ import annotations
 
 import abc
+import hashlib
 import math
 import random
+from collections.abc import Mapping as _MappingABC
 from typing import (
     AbstractSet,
     Callable,
@@ -72,18 +82,40 @@ from typing import (
     Optional,
     Sequence,
     Set,
+    Tuple,
 )
 
-try:  # Optional acceleration for whole-round IID resolution.
-    import numpy as _np
-except ImportError:  # pragma: no cover - numpy is present in CI
-    _np = None
-
+from ..core.arrays import numpy_or_none
 from ..core.errors import ConfigurationError
 from ..core.types import ProcessId
 
+#: Optional acceleration for whole-round loss resolution.  Shared gating
+#: via :func:`repro.core.arrays.numpy_or_none` (numpy importable and
+#: ``REPRO_PURE_PYTHON`` unset); tests monkeypatch this binding to pin
+#: one backend.
+_np = numpy_or_none()
+
 #: The empty drop set, shared to avoid churn in the hot path.
 _NO_LOSS: FrozenSet[ProcessId] = frozenset()
+
+#: One-slot pid -> row cache: ``(receivers tuple, positions dict)``.
+_RposCache = Optional[Tuple[tuple, Dict[ProcessId, int]]]
+
+
+def _cached_receiver_positions(
+    receivers: Tuple[ProcessId, ...], cache: _RposCache
+) -> Tuple[Dict[ProcessId, int], _RposCache]:
+    """``(positions, new cache)`` keyed by receiver-tuple *identity*.
+
+    The engine passes the same indices tuple every round, so the pid ->
+    row map is built once per execution, not once per round; holding the
+    tuple inside the cache keeps the identity stable.  Shared by every
+    array-backed adversary.
+    """
+    if cache is not None and cache[0] is receivers:
+        return cache[1], cache
+    rpos = {pid: k for k, pid in enumerate(receivers)}
+    return rpos, (receivers, rpos)
 
 
 class ResolvedRoundLosses(Dict[ProcessId, AbstractSet[ProcessId]]):
@@ -97,6 +129,72 @@ class ResolvedRoundLosses(Dict[ProcessId, AbstractSet[ProcessId]]):
     any drop set, raises :class:`~repro.core.errors.ModelViolation`
     instead of silently corrupting receive counts.
     """
+
+
+class ArrayRoundLosses(_MappingABC):
+    """A normalized whole-round loss resolution backed by arrays.
+
+    The counts-first sibling of :class:`ResolvedRoundLosses`, returned by
+    the numpy legs of the built-in randomised adversaries.  It makes the
+    same normalization promise — every drop set is a subset of this
+    round's senders, excluding its receiver — but carries the
+    *per-receiver drop counts* as a ready-made int array
+    (:attr:`drop_counts`, aligned with :attr:`receivers`), which is all
+    the engine's array round kernel needs to derive receive counts and
+    feed array detector advice in single-message rounds.
+
+    The mapping interface is intact for every other consumer
+    (:class:`ComposedLoss`, the engine's pure-python path, tests): the
+    actual drop *sets* are materialised lazily, all at once, on first
+    mapping access, from the same arrays the counts came from — so the
+    sets and the counts can never disagree, and a kernel round that only
+    reads counts skips the per-receiver set construction entirely.
+    Construction-side contract: ``drop_counts[i]`` **must** equal the
+    size of receiver ``i``'s materialised drop set, and materialisation
+    must not consume randomness any later draw depends on (the built-ins
+    use one per-round substream whose tail is reserved for the sets).
+    """
+
+    __slots__ = ("receivers", "drop_counts", "_sets", "_materialise")
+
+    def __init__(
+        self,
+        receivers: Tuple[ProcessId, ...],
+        drop_counts,
+        materialise: Callable[[], Dict[ProcessId, AbstractSet[ProcessId]]],
+    ) -> None:
+        self.receivers = receivers
+        self.drop_counts = drop_counts
+        self._sets: Optional[Dict[ProcessId, AbstractSet[ProcessId]]] = None
+        self._materialise = materialise
+
+    def _ensure(self) -> Dict[ProcessId, AbstractSet[ProcessId]]:
+        sets = self._sets
+        if sets is None:
+            sets = self._sets = self._materialise()
+            self._materialise = None  # type: ignore[assignment]
+        return sets
+
+    def __getitem__(self, pid: ProcessId) -> AbstractSet[ProcessId]:
+        return self._ensure()[pid]
+
+    def __iter__(self):
+        return iter(self.receivers)
+
+    def __len__(self) -> int:
+        return len(self.receivers)
+
+    def __contains__(self, pid: object) -> bool:
+        return pid in self._ensure()
+
+    def get(self, pid: ProcessId, default=None):
+        return self._ensure().get(pid, default)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "materialised" if self._sets is not None else "lazy"
+        return (
+            f"ArrayRoundLosses({len(self.receivers)} receivers, {state})"
+        )
 
 
 class LossAdversary(abc.ABC):
@@ -226,6 +324,7 @@ class IIDLoss(LossAdversary):
         # unaffected by whether batched rounds ran in between.
         self._np_gen = None
         self._batch_rng: Optional[random.Random] = None
+        self._rpos_cache: Optional[Tuple[tuple, Dict[ProcessId, int]]] = None
 
     def losses(
         self,
@@ -329,51 +428,79 @@ class IIDLoss(LossAdversary):
         self,
         senders: Sequence[ProcessId],
         receivers: Sequence[ProcessId],
-    ) -> "ResolvedRoundLosses":
+    ) -> "ArrayRoundLosses":
         """Vectorised whole-round resolution (numpy available).
 
         Draws the full (receiver x sender) Bernoulli grid in one C call
-        from a dedicated PCG64 stream, then splits the loss positions by
-        receiver row; each row's drop set is one ``set()`` construction
-        over a C-materialised slice.  Same iid Bernoulli(p) law as the
-        scalar paths, deterministic per seed.
+        from a dedicated PCG64 stream — the exact stream the pre-array
+        implementation consumed, so executions replay across versions —
+        and reduces it to per-receiver drop *counts* in one vectorised
+        pass (row sums minus the self pairs, which the model exempts).
+        The result is an :class:`ArrayRoundLosses`: the engine's array
+        kernel reads only the counts, while any consumer that needs the
+        actual drop sets materialises all of them lazily from the same
+        grid positions.  Same iid Bernoulli(p) law as the scalar paths,
+        deterministic per seed.
         """
         gen = self._np_gen
         if gen is None:
             self._np_gen = gen = _np.random.Generator(
                 _np.random.PCG64(self.seed)
             )
-        receiver_list = list(receivers)
-        n_senders = len(senders)
-        n_receivers = len(receiver_list)
-        flat = _np.flatnonzero(
-            gen.random(n_senders * n_receivers) < self.p
+        receivers_t = (
+            receivers if type(receivers) is tuple else tuple(receivers)
         )
-        out = ResolvedRoundLosses()
-        if not flat.size:
-            for pid in receiver_list:
-                out[pid] = _NO_LOSS
+        n_senders = len(senders)
+        n_receivers = len(receivers_t)
+        hits = gen.random(n_senders * n_receivers) < self.p
+        # Drop counts: row sums over the receiver-major grid, minus each
+        # receiver-sender's own hit (self-delivery is unconditional).
+        drop_counts = hits.reshape(n_receivers, n_senders).sum(
+            axis=1, dtype=_np.int64
+        )
+        rpos, self._rpos_cache = _cached_receiver_positions(
+            receivers_t, self._rpos_cache
+        )
+        self_rows: List[int] = []
+        self_cells: List[int] = []
+        for j, s in enumerate(senders):
+            k = rpos.get(s)
+            if k is not None:
+                self_rows.append(k)
+                self_cells.append(k * n_senders + j)
+        if self_cells:
+            drop_counts[self_rows] -= hits[self_cells]
+
+        def materialise() -> Dict[ProcessId, AbstractSet[ProcessId]]:
+            flat = _np.flatnonzero(hits)
+            out: Dict[ProcessId, AbstractSet[ProcessId]] = {}
+            if not flat.size:
+                for pid in receivers_t:
+                    out[pid] = _NO_LOSS
+                return out
+            rows = flat // n_senders
+            # Fancy-indexing the sender sequence keeps arbitrary hashable
+            # ProcessIds intact (object dtype round-trips through tolist).
+            lost_senders = _np.asarray(senders)[flat - rows * n_senders]
+            bounds = _np.searchsorted(
+                rows, _np.arange(n_receivers + 1)
+            ).tolist()
+            lost_list = lost_senders.tolist()
+            for i, pid in enumerate(receivers_t):
+                a = bounds[i]
+                b = bounds[i + 1]
+                if a == b:
+                    out[pid] = _NO_LOSS
+                    continue
+                lost = set(lost_list[a:b])
+                # Self pairs are part of the grid; discard keeps the
+                # normalized promise (drop sets never name their
+                # receiver).
+                lost.discard(pid)
+                out[pid] = lost if lost else _NO_LOSS
             return out
-        rows = flat // n_senders
-        # Fancy-indexing the sender sequence keeps arbitrary hashable
-        # ProcessIds intact (object dtype round-trips through tolist).
-        lost_senders = _np.asarray(senders)[flat - rows * n_senders]
-        bounds = _np.searchsorted(
-            rows, _np.arange(n_receivers + 1)
-        ).tolist()
-        lost_list = lost_senders.tolist()
-        for i, pid in enumerate(receiver_list):
-            a = bounds[i]
-            b = bounds[i + 1]
-            if a == b:
-                out[pid] = _NO_LOSS
-                continue
-            lost = set(lost_list[a:b])
-            # Self pairs are part of the grid; discard keeps the
-            # normalized promise (drop sets never name their receiver).
-            lost.discard(pid)
-            out[pid] = lost if lost else _NO_LOSS
-        return out
+
+        return ArrayRoundLosses(receivers_t, drop_counts, materialise)
 
     def reset(self) -> None:
         self._rng = random.Random(self.seed)
@@ -392,11 +519,38 @@ class CaptureEffectLoss(LossAdversary):
     where listeners within range of the same two senders end up with
     different receive sets.
 
-    Randomness is drawn from a substream derived from ``(seed,
-    round_index, receiver)`` rather than from one shared stream, so the
-    loss pattern is a pure function of the seed: the same seed gives the
-    same execution *regardless of the order in which callers enumerate
-    receivers*, and the batched and per-receiver paths agree exactly.
+    Determinism contract
+    --------------------
+
+    All randomness is a pure function of ``(seed, round_index)`` plus the
+    receiver — never of hidden stream state — so the same seed always
+    replays the same execution and ``reset()`` has nothing to forget.
+    Concretely there are two equal-law draw schemes, chosen by backend:
+
+    * **Per-receiver substreams** (the reference; also the per-receiver
+      :meth:`losses` interface on every backend): a fresh stdlib stream
+      seeded from ``(seed, round_index, receiver)`` per pair, so the
+      pattern is independent of the order in which callers enumerate
+      receivers.
+    * **One vectorised substream block per round** (the batched path
+      when numpy is available): a fresh PCG64 substream seeded from
+      ``(seed, round_index, senders, receivers)`` serves the whole
+      call — first the per-receiver capture-count draws (one vectorised
+      call), then, lazily, the capture-subset permutations.  The block
+      is a pure function of those four inputs, so engine executions
+      (which always enumerate receivers in index order) are
+      deterministic end to end, and distinct delegated calls within one
+      round — partition groups, multihop neighbourhoods — draw
+      *independent* blocks rather than replaying a shared one.
+
+    Both schemes sample the same law — capture counts uniform on
+    ``{0..min(capture_limit, |others|)}`` and capture subsets uniform
+    without replacement — but their concrete patterns differ, exactly as
+    :class:`IIDLoss`'s batched stream differs from its per-receiver
+    stream.  Within one backend, batched executions replay bit-for-bit;
+    the equivalence suite asserts the engine's array kernel and its
+    pure-python fallback see identical patterns because both consume
+    this same batched resolution.
     """
 
     def __init__(
@@ -412,11 +566,42 @@ class CaptureEffectLoss(LossAdversary):
         self.capture_limit = capture_limit
         self.p_single_loss = p_single_loss
         self.seed = seed
+        self._rpos_cache: Optional[Tuple[tuple, Dict[ProcessId, int]]] = None
 
     def _pair_rng(self, round_index: int, receiver: ProcessId) -> random.Random:
         # String seeding hashes with SHA-512 internally: deterministic
         # across runs and platforms, independent of PYTHONHASHSEED.
         return random.Random(f"{self.seed}|{round_index}|{receiver!r}")
+
+    def _round_gen(
+        self,
+        round_index: int,
+        senders: Sequence[ProcessId],
+        receivers: Sequence[ProcessId],
+    ):
+        """One PCG64 substream per (round, call context), platform-independent.
+
+        Seeded through SHA-512 of the seed, the round, *and* the sender/
+        receiver lists (the same string-hash idiom as :meth:`_pair_rng`),
+        so the substream is independent of ``PYTHONHASHSEED``, identical
+        across platforms, and — crucially — *distinct for distinct
+        delegated calls within one round*: a group-delegating wrapper
+        (``PartitionLoss`` intra resolution, ``MultihopLayer``
+        neighbourhoods) resolves each group against its own block
+        instead of replaying one shared block into correlated losses.
+        """
+        # C-level container reprs: one pass each, no per-element Python.
+        # The engine always hands the same container shapes per call
+        # site (senders list, receivers tuple), so the context string is
+        # stable wherever determinism is observable.
+        context = (
+            f"{self.seed}|{round_index}|{senders!r}|{receivers!r}|block"
+        )
+        digest = hashlib.sha512(context.encode()).digest()
+        entropy = int.from_bytes(digest[:32], "little")
+        return _np.random.Generator(
+            _np.random.PCG64(_np.random.SeedSequence(entropy))
+        )
 
     def losses(
         self,
@@ -442,13 +627,101 @@ class CaptureEffectLoss(LossAdversary):
         senders: Sequence[ProcessId],
         receivers: Sequence[ProcessId],
     ) -> Mapping[ProcessId, AbstractSet[ProcessId]]:
-        # Each receiver's substream is independent, so the batched path is
-        # just the per-receiver resolution — already normalized (drop sets
-        # are subsets of senders minus the receiver by construction).
+        if _np is not None and senders:
+            return self._losses_for_round_np(round_index, senders, receivers)
+        # Reference path: each receiver's substream is independent, so
+        # the batched resolution is just the per-receiver one — already
+        # normalized (drop sets are subsets of senders minus the
+        # receiver by construction).
         losses = self.losses
         return ResolvedRoundLosses(
             (pid, losses(round_index, senders, pid)) for pid in receivers
         )
+
+    def _losses_for_round_np(
+        self,
+        round_index: int,
+        senders: Sequence[ProcessId],
+        receivers: Sequence[ProcessId],
+    ) -> "ArrayRoundLosses":
+        """Whole-round resolution from one vectorised substream block.
+
+        The round's substream (:meth:`_round_gen`) is consumed in a
+        fixed order: the per-receiver capture counts first — which is
+        all the drop-count array needs — then, only if some consumer
+        materialises the drop sets, one uniform matrix whose per-row
+        argsort yields each receiver's random capture permutation
+        (receiving ``k`` of ``m`` competitors = keeping a uniform
+        ``k``-subset, so taking the first ``k`` of a uniform permutation
+        reproduces ``rng.sample``'s law exactly).  Laziness is safe
+        because nothing else ever draws from the round's substream.
+        """
+        receivers_t = (
+            receivers if type(receivers) is tuple else tuple(receivers)
+        )
+        n_receivers = len(receivers_t)
+        n_senders = len(senders)
+        rpos, self._rpos_cache = _cached_receiver_positions(
+            receivers_t, self._rpos_cache
+        )
+        gen = self._round_gen(round_index, senders, receivers_t)
+        if n_senders == 1:
+            (sole,) = tuple(senders)
+            lose = gen.random(n_receivers) < self.p_single_loss
+            k = rpos.get(sole)
+            if k is not None:
+                lose[k] = False  # self-delivery: the sender keeps its own
+            drop_counts = lose.astype(_np.int64)
+
+            def materialise_single() -> Dict[ProcessId, AbstractSet[ProcessId]]:
+                only = frozenset((sole,))
+                return {
+                    pid: (only if flag else _NO_LOSS)
+                    for pid, flag in zip(receivers_t, lose.tolist())
+                }
+
+            return ArrayRoundLosses(
+                receivers_t, drop_counts, materialise_single
+            )
+        own = _np.zeros(n_receivers, dtype=bool)
+        self_rows: List[int] = []
+        self_cols: List[int] = []
+        for j, s in enumerate(senders):
+            k = rpos.get(s)
+            if k is not None:
+                own[k] = True
+                self_rows.append(k)
+                self_cols.append(j)
+        # m = |others| per receiver; capture counts uniform on
+        # {0..min(capture_limit, m)}; everything not captured is lost.
+        m = n_senders - own.astype(_np.int64)
+        capped = _np.minimum(self.capture_limit, m)
+        captured_counts = gen.integers(capped + 1)
+        drop_counts = m - captured_counts
+
+        def materialise_multi() -> Dict[ProcessId, AbstractSet[ProcessId]]:
+            # Uniform keys per (receiver, sender); each receiver's own
+            # column is pushed past every finite key so the first m
+            # entries of the row's argsort are a uniform permutation of
+            # its m competitors.
+            keys = gen.random((n_receivers, n_senders))
+            if self_rows:
+                keys[self_rows, self_cols] = _np.inf
+            order = _np.argsort(keys, axis=1)
+            sender_arr = _np.asarray(senders)
+            out: Dict[ProcessId, AbstractSet[ProcessId]] = {}
+            m_list = m.tolist()
+            k_list = captured_counts.tolist()
+            for i, pid in enumerate(receivers_t):
+                mi = m_list[i]
+                ki = k_list[i]
+                if ki >= mi:
+                    out[pid] = _NO_LOSS
+                    continue
+                out[pid] = set(sender_arr[order[i, ki:mi]].tolist())
+            return out
+
+        return ArrayRoundLosses(receivers_t, drop_counts, materialise_multi)
 
 
 class PartitionLoss(LossAdversary):

@@ -27,6 +27,26 @@ The engine validates constraints 4 and 5 as it goes and raises
 :class:`~repro.core.errors.ModelViolation` on any breach, so a buggy
 adversary cannot silently produce an illegal execution.
 
+The array round kernel
+----------------------
+
+Steps (4)-(5) have a vectorised fast path, gated on
+:func:`~repro.core.environment.array_kernel_module` (numpy present,
+``REPRO_PURE_PYTHON`` unset) and the engine's ``use_array_kernel``
+knob.  When a batched adversary resolves the round as an
+:class:`~repro.adversary.loss.ArrayRoundLosses` — per-receiver drop
+counts as an int array, drop sets lazy — the kernel derives every
+receive count with one array subtraction, validates drop budgets
+against a sender-membership array, shares one multiset per distinct
+keep count in single-message rounds (never touching the drop sets at
+all), and hands the detector the counts *array* through the
+``advise_array`` hook (whose default round-trips through dict
+``advise``, so third-party detectors keep working).  Advice and
+multisets then flow to transitions as position-aligned lists instead of
+dicts.  The pure-python path remains the reference: both paths produce
+indistinguishable executions under every record policy, including
+crash and halting rounds (``tests/test_array_kernel.py``).
+
 Record policies
 ---------------
 
@@ -47,10 +67,10 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
-from ..adversary.loss import ResolvedRoundLosses
+from ..adversary.loss import ArrayRoundLosses, ResolvedRoundLosses
 from ..core.errors import ConfigurationError, ModelViolation
 from .algorithm import Algorithm, ConsensusAlgorithm
-from .environment import Environment
+from .environment import Environment, array_kernel_module
 from .multiset import Multiset
 from .process import Process, _UNDECIDED
 from .records import ExecutionResult, RecordPolicy, RoundRecord, RoundSummary
@@ -75,6 +95,16 @@ class ExecutionEngine:
     ``record_policy`` selects how much per-round state is retained; see
     the module docstring.  The executed rounds are identical across
     policies for the same seeded environment.
+
+    ``use_array_kernel`` gates the vectorised round kernel (steps 4-5 on
+    int arrays, array detector advice): ``None`` (default) enables it
+    exactly when :func:`~repro.core.environment.array_kernel_module`
+    finds numpy; ``False`` forces the pure-python reference path;
+    ``True`` insists on the kernel and raises
+    :class:`~repro.core.errors.ConfigurationError` when numpy is
+    unavailable rather than silently running the slow path.  The two
+    paths produce indistinguishable executions under every record
+    policy (the ``tests/test_array_kernel.py`` equivalence suite).
     """
 
     def __init__(
@@ -83,6 +113,7 @@ class ExecutionEngine:
         processes: Mapping[ProcessId, Process],
         initial_values: Optional[Mapping[ProcessId, Value]] = None,
         record_policy: RecordPolicy = RecordPolicy.FULL,
+        use_array_kernel: Optional[bool] = None,
     ) -> None:
         if set(processes) != set(environment.indices):
             raise ConfigurationError(
@@ -102,6 +133,24 @@ class ExecutionEngine:
         self._live: List[ProcessId] = list(environment.indices)
         self._live_set: frozenset = frozenset(environment.indices)
         self._indices_set: frozenset = frozenset(environment.indices)
+        np_mod = array_kernel_module()
+        if use_array_kernel is None:
+            self._np = np_mod
+        elif use_array_kernel:
+            if np_mod is None:
+                raise ConfigurationError(
+                    "use_array_kernel=True requires numpy (and "
+                    "REPRO_PURE_PYTHON unset); install numpy or pass "
+                    "use_array_kernel=None for automatic gating"
+                )
+            self._np = np_mod
+        else:
+            self._np = None
+        # pid -> position in the index tuple; the array kernel's advice
+        # list and counts array are aligned to this ordering.
+        self._pid_pos: Dict[ProcessId, int] = {
+            pid: k for k, pid in enumerate(environment.indices)
+        }
 
     # ------------------------------------------------------------------
     @property
@@ -214,11 +263,14 @@ class ExecutionEngine:
         # multiset construction for processes that will not transition —
         # the detector only ever needs the counts (Definition 6).
         lost_map = env.loss.losses_for_round(r, senders, indices)
-        normalized = type(lost_map) is ResolvedRoundLosses
+        np_mod = self._np
+        lm_type = type(lost_map)
+        normalized = (
+            lm_type is ResolvedRoundLosses or lm_type is ArrayRoundLosses
+        )
         counts: Dict[ProcessId, int] = {}
         received: Dict[ProcessId, Multiset] = {}
         base_counts: Dict[Message, int] = {}
-        sender_set = set(senders)
         for s in senders:
             m = messages[s]
             base_counts[m] = base_counts.get(m, 0) + 1
@@ -227,6 +279,203 @@ class ExecutionEngine:
         single = len(base_counts) == 1
         if single:
             (only_message,) = base_counts
+        always_multiset = full or not inactive
+        counts_arr = None
+        received_list: Optional[list] = None
+        if np_mod is not None and lm_type is ArrayRoundLosses:
+            # Array fast path: the adversary delivered per-receiver drop
+            # counts as an int array, so receive counts are one
+            # vectorised subtraction and the drop *sets* are only
+            # materialised when distinct message payloads force
+            # per-receiver multiset decrements.  Validation stays whole-
+            # array too: every count must fit inside the receiver's
+            # droppable budget (the sender membership array realises the
+            # self-delivery exemption of constraint 5).
+            receivers_t = lost_map.receivers
+            if receivers_t is not indices and tuple(receivers_t) != indices:
+                missing = sorted(
+                    set(indices) - set(receivers_t), key=repr
+                )
+                raise ModelViolation(
+                    f"loss adversary omitted receiver "
+                    f"{missing[0] if missing else receivers_t!r} from its "
+                    "round resolution"
+                )
+            drop = lost_map.drop_counts
+            own = np_mod.zeros(len(indices), dtype=bool)
+            if senders:
+                pid_pos = self._pid_pos
+                own[[pid_pos[s] for s in senders]] = True
+            bad = (drop < 0) | (drop > (total - own))
+            if bad.any():
+                k = int(bad.argmax())
+                raise ModelViolation(
+                    f"array loss resolution claims {int(drop[k])} drops "
+                    f"at {indices[k]}, outside its droppable budget of "
+                    f"{total - int(own[k])}"
+                )
+            counts_arr = total - drop
+            counts_list = counts_arr.tolist()
+            # Receive multisets live in a list aligned with the index
+            # tuple (the ``received`` dict is only materialised for FULL
+            # records).  Single-message rounds share one multiset per
+            # distinct keep count; the lossless bucket shares the
+            # round's full multiset outright.
+            if single or total == 0:
+                buckets = Multiset.singleton_buckets(
+                    only_message if total else None, set(counts_list)
+                )
+                buckets[total] = full_round_ms
+                received_list = [buckets[kept] for kept in counts_list]
+            else:
+                received_list = []
+                for k, pid in enumerate(indices):
+                    if not always_multiset and pid in inactive:
+                        received_list.append(None)
+                        continue
+                    kept = counts_list[k]
+                    if kept == total:
+                        received_list.append(full_round_ms)
+                        continue
+                    cnt = dict(base_counts)
+                    for s in lost_map[pid]:
+                        m = messages[s]
+                        left = cnt[m] - 1
+                        if left:
+                            cnt[m] = left
+                        else:
+                            del cnt[m]
+                    received_list.append(
+                        Multiset._from_counts_unchecked(cnt, kept)
+                    )
+            if full:
+                received = dict(zip(indices, received_list))
+            counts = None  # type: ignore[assignment]
+        if counts is not None:
+            self._resolve_losses_scalar(
+                lost_map, normalized, counts, received, base_counts,
+                senders, messages, inactive, total, full_round_ms,
+                single, only_message if single else None, always_multiset,
+            )
+
+        # (5) Collision-detector advice from counts only.  Kernel rounds
+        # hand the detector the counts *array* through the
+        # ``advise_array`` hook (whose default round-trips through dict
+        # ``advise``, so third-party detectors keep working); rounds
+        # that resolved through the scalar loop keep the dict path — its
+        # per-distinct-t memoisation already beats an array detour for
+        # the shared-drop-set adversaries that take it.  The defensive
+        # copy is only needed when the map outlives the round (FULL
+        # retains it in the record).
+        if counts_arr is not None:
+            advice_list = env.detector.advise_array(
+                r, total, counts_arr, indices
+            )
+            cd_advice = dict(zip(indices, advice_list)) if full else None
+        else:
+            advice_list = None
+            cd_advice = env.detector.advise(r, total, counts)
+            if full:
+                cd_advice = dict(cd_advice)
+            if not self._indices_set <= cd_advice.keys():
+                missing = self._indices_set - cd_advice.keys()
+                raise ModelViolation(
+                    f"collision detector omitted advice for {sorted(missing)}"
+                )
+
+        # (6) Transitions for surviving processes.  Halted-but-live
+        # processes only advance their round counter; ``inactive`` holds
+        # exactly the halted and the (newly or previously) crashed.
+        decided_during: Dict[ProcessId, Value] = {}
+        for pid in halted_live:
+            processes[pid]._advance_round()
+        if advice_list is not None:
+            # Kernel rounds only: advice and multisets live in lists
+            # aligned with the index tuple, so transitions never pay
+            # per-pid dict lookups (``received_list`` is always set on
+            # the path that set ``advice_list``).
+            for k, pid in enumerate(indices):
+                if inactive and pid in inactive:
+                    continue
+                proc = processes[pid]
+                already_decided = proc._decision is not _UNDECIDED
+                proc.transition(
+                    received_list[k], advice_list[k], cm_advice[pid]
+                )
+                proc._advance_round()
+                if not already_decided and proc._decision is not _UNDECIDED:
+                    decided_during[pid] = proc._decision
+        else:
+            active_pids = (
+                indices if not inactive
+                else [pid for pid in indices if pid not in inactive]
+            )
+            for pid in active_pids:
+                proc = processes[pid]
+                # Direct slot reads instead of the has_decided/decision
+                # properties: this loop runs once per live process per
+                # round.
+                already_decided = proc._decision is not _UNDECIDED
+                proc.transition(received[pid], cd_advice[pid], cm_advice[pid])
+                proc._advance_round()
+                if not already_decided and proc._decision is not _UNDECIDED:
+                    decided_during[pid] = proc._decision
+
+        # Commit crashes and refresh the cached live list/set.
+        newly_crashed = crash_before_send | crash_after_send
+        if newly_crashed:
+            for pid in newly_crashed:
+                crashed[pid] = r
+            self._live = [i for i in self._live if i not in newly_crashed]
+            self._live_set = self._live_set - newly_crashed
+
+        # (7) Channel feedback and bookkeeping.
+        env.contention.observe(r, len(senders))
+        if full:
+            record = RoundRecord(
+                round=r,
+                cm_advice=cm_advice,
+                messages=messages,
+                received=received,
+                cd_advice=cd_advice,
+                crashed_during=frozenset(newly_crashed),
+                decided_during=decided_during,
+            )
+            self._records.append(record)
+            return record
+        summary = RoundSummary(
+            round=r,
+            broadcast_count=len(senders),
+            crashed_during=frozenset(newly_crashed),
+            decided_during=decided_during,
+        )
+        if self.record_policy is RecordPolicy.SUMMARY:
+            self._summaries.append(summary)
+        return summary
+
+    def _resolve_losses_scalar(
+        self,
+        lost_map,
+        normalized: bool,
+        counts: Dict[ProcessId, int],
+        received: Dict[ProcessId, Multiset],
+        base_counts: Dict[Message, int],
+        senders: List[ProcessId],
+        messages: Dict[ProcessId, Optional[Message]],
+        inactive: set,
+        total: int,
+        full_round_ms: Multiset,
+        single: bool,
+        only_message: Optional[Message],
+        always_multiset: bool,
+    ) -> None:
+        """The reference per-receiver loss resolution (pure-python path).
+
+        Fills ``counts`` and ``received`` in index order; byte-for-byte
+        the behaviour the array kernel must reproduce.
+        """
+        indices = self.environment.indices
+        sender_set = set(senders)
         # Per-round memo tables for shared work.  ``shared_cache`` maps
         # id(drop set) -> (set, kept, counts-dict, lazily built multiset)
         # computed *without* any self exemption; ``plus_cache`` and
@@ -237,7 +486,6 @@ class ExecutionEngine:
         shared_cache: Dict[int, list] = {}
         plus_cache: Dict[Tuple[int, Message], Multiset] = {}
         single_cache: Dict[int, Multiset] = {}
-        always_multiset = full or not inactive
         for pid in indices:
             lost = lost_map.get(pid)
             if lost is None:
@@ -365,70 +613,6 @@ class ExecutionEngine:
                         entry[3] = ms
                     received[pid] = ms
 
-        # (5) Collision-detector advice from counts only.  The defensive
-        # copy is only needed when the map outlives the round (FULL
-        # retains it in the record).
-        cd_advice = env.detector.advise(r, len(senders), counts)
-        if full:
-            cd_advice = dict(cd_advice)
-        if not self._indices_set <= cd_advice.keys():
-            missing = self._indices_set - cd_advice.keys()
-            raise ModelViolation(
-                f"collision detector omitted advice for {sorted(missing)}"
-            )
-
-        # (6) Transitions for surviving processes.  Halted-but-live
-        # processes only advance their round counter; ``inactive`` holds
-        # exactly the halted and the (newly or previously) crashed.
-        decided_during: Dict[ProcessId, Value] = {}
-        for pid in halted_live:
-            processes[pid]._advance_round()
-        active_pids = (
-            indices if not inactive
-            else [pid for pid in indices if pid not in inactive]
-        )
-        for pid in active_pids:
-            proc = processes[pid]
-            # Direct slot reads instead of the has_decided/decision
-            # properties: this loop runs once per live process per round.
-            already_decided = proc._decision is not _UNDECIDED
-            proc.transition(received[pid], cd_advice[pid], cm_advice[pid])
-            proc._advance_round()
-            if not already_decided and proc._decision is not _UNDECIDED:
-                decided_during[pid] = proc._decision
-
-        # Commit crashes and refresh the cached live list/set.
-        newly_crashed = crash_before_send | crash_after_send
-        if newly_crashed:
-            for pid in newly_crashed:
-                crashed[pid] = r
-            self._live = [i for i in self._live if i not in newly_crashed]
-            self._live_set = self._live_set - newly_crashed
-
-        # (7) Channel feedback and bookkeeping.
-        env.contention.observe(r, len(senders))
-        if full:
-            record = RoundRecord(
-                round=r,
-                cm_advice=cm_advice,
-                messages=messages,
-                received=received,
-                cd_advice=cd_advice,
-                crashed_during=frozenset(newly_crashed),
-                decided_during=decided_during,
-            )
-            self._records.append(record)
-            return record
-        summary = RoundSummary(
-            round=r,
-            broadcast_count=len(senders),
-            crashed_during=frozenset(newly_crashed),
-            decided_during=decided_during,
-        )
-        if self.record_policy is RecordPolicy.SUMMARY:
-            self._summaries.append(summary)
-        return summary
-
     # ------------------------------------------------------------------
     def run(
         self,
@@ -511,17 +695,20 @@ def run_algorithm(
     until_all_decided: bool = True,
     record_policy: RecordPolicy = RecordPolicy.FULL,
     observer: Optional[RoundObserver] = None,
+    use_array_kernel: Optional[bool] = None,
 ) -> ExecutionResult:
     """Instantiate ``algorithm`` over the environment's indices and run.
 
     ``observer`` (e.g. a :class:`~repro.core.records.JsonlSink`) receives
     each round's artifact as it is produced — the streaming companion to
-    ``RecordPolicy.SUMMARY``/``NONE``.
+    ``RecordPolicy.SUMMARY``/``NONE``.  ``use_array_kernel`` passes
+    through to :class:`ExecutionEngine` (``None`` = automatic gating).
     """
     environment.reset()
     processes = algorithm.spawn_all(environment.indices)
     engine = ExecutionEngine(
-        environment, processes, record_policy=record_policy
+        environment, processes, record_policy=record_policy,
+        use_array_kernel=use_array_kernel,
     )
     return engine.run(
         max_rounds, until_all_decided=until_all_decided, observer=observer
@@ -536,6 +723,7 @@ def run_consensus(
     until_all_decided: bool = True,
     record_policy: RecordPolicy = RecordPolicy.FULL,
     observer: Optional[RoundObserver] = None,
+    use_array_kernel: Optional[bool] = None,
 ) -> ExecutionResult:
     """Run a consensus algorithm with the given initial-value assignment."""
     if set(initial_values) != set(environment.indices):
@@ -545,7 +733,8 @@ def run_consensus(
     environment.reset()
     processes = algorithm.instantiate(initial_values)
     engine = ExecutionEngine(
-        environment, processes, initial_values, record_policy=record_policy
+        environment, processes, initial_values, record_policy=record_policy,
+        use_array_kernel=use_array_kernel,
     )
     return engine.run(
         max_rounds, until_all_decided=until_all_decided, observer=observer

@@ -342,6 +342,20 @@ class SqliteSink:
             for r, bc, crashed, decided in rows
         ]
 
+    def round_aggregates(self) -> Dict[int, Tuple[int, float]]:
+        """Per-cell aggregates over ``round_summaries`` in one query.
+
+        Returns ``cell_seed -> (rounds, mean broadcast count)`` for every
+        cell that streamed at least one round into the store — the
+        backbone of the campaign's table report, computed inside sqlite
+        so a million-round store never materialises its rows in Python.
+        """
+        rows = self._connect().execute(
+            "SELECT cell_seed, COUNT(*), AVG(broadcast_count) "
+            "FROM round_summaries GROUP BY cell_seed"
+        ).fetchall()
+        return {seed: (count, mean) for seed, count, mean in rows}
+
     # -- campaign cell checkpoints -------------------------------------
     def record_cell(
         self,

@@ -14,6 +14,13 @@ This module provides a registry of these classes, membership and subset
 tests (the containment lattice drives which theorems transfer between
 classes, e.g. Lemma 1: ``NoCD ⊆ NoACC``), and factory helpers to build a
 concrete :class:`ParametricCollisionDetector` inside a class.
+
+Every detector built through :meth:`DetectorClass.make` resolves its
+advice vectorised under the engine's array round kernel: the parametric
+detector's ``advise_array`` answers the completeness/accuracy
+obligations in whole-array passes and is elementwise identical to the
+dict ``advise`` path, so picking a lattice class never trades fidelity
+for throughput (see :mod:`repro.detectors.detector`).
 """
 
 from __future__ import annotations

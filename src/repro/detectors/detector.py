@@ -15,8 +15,9 @@ detector in the Figure 1 lattice, plus NoCD and NoACC, is an instance.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
 
+from ..core.arrays import numpy_or_none
 from ..core.errors import ConfigurationError, ModelViolation
 from ..core.types import CollisionAdvice, ProcessId
 from .policy import BenignPolicy, DetectorPolicy, NoisyPolicy
@@ -24,9 +25,106 @@ from .properties import (
     AccuracyMode,
     Completeness,
     accuracy_active,
+    collision_obligation_array,
     must_report_collision,
     must_report_null,
 )
+
+#: Optional acceleration for array advice; same gate as every other
+#: vectorised path (numpy importable, ``REPRO_PURE_PYTHON`` unset).
+_np = numpy_or_none()
+
+#: Advice by obligation truth value: ``lut[bool]``.
+_ADVICE_LUT = (CollisionAdvice.NULL, CollisionAdvice.COLLISION)
+
+#: policy class -> may its ``free_choice_array`` stand in for
+#: ``free_choice``?  See :func:`_trusted_free_choice_array`.
+_FCA_TRUSTED: Dict[type, bool] = {}
+
+
+def _trusted_free_choice_array(policy_cls: type) -> bool:
+    """May ``policy_cls.free_choice_array`` answer for ``free_choice``?
+
+    Only when the *same* class (walking the MRO) provides both: a
+    subclass that overrides ``free_choice`` while inheriting an
+    ancestor's ``free_choice_array`` must not have its override silently
+    bypassed by the array path, so the first class that defines either
+    method decides — it is trusted exactly when it defines the array
+    form itself.
+    """
+    cached = _FCA_TRUSTED.get(policy_cls)
+    if cached is None:
+        cached = False
+        for klass in policy_cls.__mro__:
+            owns_array = "free_choice_array" in klass.__dict__
+            if owns_array or "free_choice" in klass.__dict__:
+                cached = owns_array
+                break
+        _FCA_TRUSTED[policy_cls] = cached
+    return cached
+
+
+def vectorised_advice(
+    np_mod,
+    level: Completeness,
+    accuracy: AccuracyMode,
+    r_acc: Optional[int],
+    policy: DetectorPolicy,
+    round_index: int,
+    broadcasters: int,
+    counts,
+    indices: Sequence[ProcessId],
+    overflow_message,
+    memo_per_t: bool,
+) -> List[CollisionAdvice]:
+    """The one vectorised advice resolution both built-ins share.
+
+    Obligations resolve as array predicates (Properties 4-9 over the
+    counts array); free choices go to the policy exactly as the caller's
+    dict ``advise`` would call it — via ``free_choice_array`` when the
+    policy's own class vouches for it, once per distinct ``t`` when the
+    caller memoises pid-independent policies (``memo_per_t``, the
+    parametric detector's dict behaviour), and once per unconstrained
+    process *in index order* otherwise, so seeded policies consume their
+    streams identically on both paths.  ``overflow_message(pid, t, c)``
+    renders the caller's own t-greater-than-c violation text.
+    """
+    c = broadcasters
+    over = counts > c
+    if over.any():
+        k = int(over.argmax())
+        raise ModelViolation(overflow_message(indices[k], int(counts[k]), c))
+    obliged = collision_obligation_array(level, c, counts)
+    if accuracy_active(accuracy, round_index, r_acc):
+        free = ~(obliged | (counts == c))
+    else:
+        free = ~obliged
+    if free.any():
+        chosen = (
+            policy.free_choice_array(round_index, c, counts)
+            if _trusted_free_choice_array(type(policy))
+            else None
+        )
+        if chosen is not None:
+            obliged = obliged | (free & chosen)
+        elif memo_per_t and policy.pid_independent:
+            free_choice = policy.free_choice
+            for t in np_mod.unique(counts[free]).tolist():
+                mask = free & (counts == t)
+                first = int(mask.argmax())
+                choice = free_choice(round_index, indices[first], c, t)
+                if choice is CollisionAdvice.COLLISION:
+                    obliged = obliged | mask
+        else:
+            free_choice = policy.free_choice
+            counts_list = counts.tolist()
+            for k in np_mod.flatnonzero(free).tolist():
+                choice = free_choice(
+                    round_index, indices[k], c, counts_list[k]
+                )
+                if choice is CollisionAdvice.COLLISION:
+                    obliged[k] = True
+    return [_ADVICE_LUT[v] for v in obliged.tolist()]
 
 
 class CollisionDetector(abc.ABC):
@@ -45,6 +143,34 @@ class CollisionDetector(abc.ABC):
         ``T(i)``.  Implementations must not consult anything else — the
         engine deliberately passes only counts.
         """
+
+    def advise_array(
+        self,
+        round_index: int,
+        broadcasters: int,
+        counts,
+        indices: Sequence[ProcessId],
+    ) -> List[CollisionAdvice]:
+        """Array advice for the engine's vectorised round kernel.
+
+        ``counts`` is an int array of per-process receive counts aligned
+        with ``indices`` (the paper's ``T`` as one array instead of a
+        mapping); the return value is the advice list in the same
+        alignment.  The default implementation round-trips through the
+        dict :meth:`advise`, so third-party detectors written against
+        the mapping interface keep working under the array kernel — they
+        see the exact calls (same counts, same iteration order) the
+        pure-python engine path would have made.  Built-in detectors
+        override this with genuinely vectorised obligation resolution.
+        """
+        received_counts = dict(zip(indices, counts.tolist()))
+        advice = self.advise(round_index, broadcasters, received_counts)
+        if not set(indices) <= advice.keys():
+            missing = set(indices) - advice.keys()
+            raise ModelViolation(
+                f"collision detector omitted advice for {sorted(missing)}"
+            )
+        return [advice[pid] for pid in indices]
 
     def reset(self) -> None:
         """Prepare for a fresh execution (default: stateless)."""
@@ -132,6 +258,38 @@ class ParametricCollisionDetector(CollisionDetector):
                 else free_choice(round_index, pid, c, t)
             )
         return advice
+
+    def advise_array(
+        self,
+        round_index: int,
+        broadcasters: int,
+        counts,
+        indices: Sequence[ProcessId],
+    ) -> List[CollisionAdvice]:
+        """Vectorised advice: obligations in whole-array passes.
+
+        Elementwise identical to :meth:`advise` — completeness and
+        accuracy resolve as array predicates; free choices go to the
+        policy exactly as the dict path would call it (once per distinct
+        ``t`` for pid-independent policies, once per unconstrained
+        process *in index order* otherwise, so seeded policies consume
+        their streams identically on both paths).  Subclasses that
+        override :meth:`advise` are routed through the dict fallback, so
+        their customisation is never silently bypassed.
+        """
+        if _np is None or type(self).advise is not ParametricCollisionDetector.advise:
+            return CollisionDetector.advise_array(
+                self, round_index, broadcasters, counts, indices
+            )
+        return vectorised_advice(
+            _np, self.completeness, self.accuracy, self.r_acc, self.policy,
+            round_index, broadcasters, counts, indices,
+            lambda pid, t, c: (
+                f"process {pid} received {t} messages but only {c} "
+                "were broadcast"
+            ),
+            memo_per_t=True,
+        )
 
     def reset(self) -> None:
         self.policy.reset()

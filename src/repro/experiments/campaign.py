@@ -34,7 +34,13 @@ durable, cell-granular checkpoints in a single ``campaign.db``
   the pool at full width while the cell is checkpointed ``timed_out``
   and the grid keeps moving.  Timeouts therefore no longer serialise
   the campaign; ``processes=0``/``1`` still forces the serial
-  one-worker-per-cell path.
+  one-worker-per-cell path.  The pool is *persistent within one runner
+  lifetime*: workers spawned by the first timed pass stay parked on
+  their pipes between ``resume()`` calls and are reused by the next
+  pass (asserted by a worker-pid test), so a campaign loop does not pay
+  a pool spin-up per pass.  Call :meth:`CampaignRunner.close` (or use
+  the runner as a context manager) to tear the pool down; the
+  destructor backstops it.
 * **Failure isolation** — a cell that raises is checkpointed as
   ``failed`` (with the exception's repr) and the campaign moves on;
   unlike ``SweepRunner.run``, one bad cell never aborts the grid.
@@ -348,6 +354,38 @@ class CampaignRunner:
         self.extra_params = dict(extra_params or {})
         self._sweep = SweepRunner(cell_fn, processes=processes,
                                   base_seed=base_seed)
+        # The persistent deadline pool: workers survive across resume()
+        # passes within one runner lifetime (spawning a worker costs a
+        # fork plus a pipe, so back-to-back resumes — the normal
+        # campaign loop — must not pay it per pass).  Workers are
+        # spawned lazily by the first timed parallel pass, kept while
+        # idle, replaced when they die or overrun a deadline, and torn
+        # down by close() (or the destructor as a backstop).
+        self._pool: List[_PoolWorker] = []
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the persistent deadline pool (idempotent).
+
+        Idle workers get the graceful sentinel; anything still alive
+        after the grace period is terminated.  The runner remains usable
+        afterwards — the next timed parallel pass simply respawns its
+        workers.
+        """
+        while self._pool:
+            self._pool.pop().shutdown()
+
+    def __enter__(self) -> "CampaignRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     def cells(self, **axes: Iterable[Any]) -> List[SweepCell]:
@@ -561,6 +599,14 @@ class CampaignRunner:
             target=_deadline_pool_worker,
             args=(child_conn, self.cell_fn, self.extra_params),
         )
+        # Daemonic, like multiprocessing.Pool's own workers on the
+        # no-timeout path: a persistent worker parked between passes
+        # must never block interpreter shutdown when a caller forgets
+        # close() — the atexit join of a non-daemon child would
+        # deadlock against a parent that is already past __del__.
+        # (Consequence, shared with the Pool path: cells themselves
+        # cannot spawn child processes.)
+        proc.daemon = True
         proc.start()
         child_conn.close()
         return _PoolWorker(proc, parent_conn)
@@ -583,11 +629,17 @@ class CampaignRunner:
         and the grid keeps moving.  A worker that dies mid-cell (OOM
         kill, hard crash) checkpoints the cell ``failed`` and is
         replaced the same way.
+
+        The pool itself outlives the pass: workers left idle when the
+        queue drains stay parked on their pipes for the runner's next
+        ``resume()`` (a dead idle worker is detected on feed and
+        replaced), and only :meth:`close` — or an exceptional exit, for
+        workers still mid-cell — tears them down.
         """
         queue = collections.deque(pending)
-        workers: List[_PoolWorker] = [
-            self._spawn_pool_worker(store) for _ in range(width)
-        ]
+        workers = self._pool
+        while len(workers) < width:
+            workers.append(self._spawn_pool_worker(store))
         # worker -> (cell, started, deadline) for in-flight cells.
         busy: Dict[_PoolWorker, Tuple[SweepCell, float, float]] = {}
 
@@ -664,11 +716,13 @@ class CampaignRunner:
                         attempts=attempts[cell.index],
                     )
         finally:
-            for worker in workers:
-                if worker in busy:
-                    worker.stop()
-                else:
-                    worker.shutdown()
+            # Keep idle workers for the next pass; only workers still
+            # mid-cell (we are unwinding through an exception) are in an
+            # unknown state and must go.
+            for worker in list(busy):
+                if worker in workers:
+                    workers.remove(worker)
+                worker.stop()
 
     # -- serial timeout path: one worker process per cell ----------------
     def _run_with_timeouts(
@@ -798,3 +852,52 @@ class CampaignRunner:
             default=str,
             indent=1,
         )
+
+    def report_table(self, **axes: Iterable[Any]) -> str:
+        """An aligned-column table over the store's ``round_summaries``.
+
+        One row per checkpointed cell, in grid order: the cell's
+        canonical tag, status, attempt count, how many rounds it
+        streamed into the store, and the mean per-round broadcast count
+        — the campaign-analytics view in its minimal useful form.  The
+        per-cell aggregation happens inside sqlite
+        (:meth:`~repro.core.records.SqliteSink.round_aggregates`), so
+        the table costs one query however many rounds the store holds.
+        Cells that streamed nothing (``NONE``-policy cells, failures
+        before round 1, cleared dead attempts) show ``-`` in both round
+        columns.
+        """
+        cells = self.cells(**axes)
+        with SqliteSink(self.db_path) as store:
+            merged = self._merge(store, cells)
+            aggregates = store.round_aggregates()
+        headers = ("cell", "status", "attempts", "rounds", "mean_bcast")
+        rows = []
+        for outcome in merged:
+            agg = aggregates.get(outcome.cell.seed)
+            rows.append((
+                cell_tag(outcome.cell),
+                outcome.status,
+                str(outcome.attempts),
+                str(agg[0]) if agg is not None else "-",
+                f"{agg[1]:.2f}" if agg is not None else "-",
+            ))
+        widths = [
+            max(len(headers[col]), *(len(row[col]) for row in rows))
+            if rows else len(headers[col])
+            for col in range(len(headers))
+        ]
+
+        def fmt(row: Tuple[str, ...]) -> str:
+            # The tag column is left-aligned prose; numbers and statuses
+            # right-align so columns scan vertically.
+            first = row[0].ljust(widths[0])
+            rest = "  ".join(
+                cell.rjust(widths[col + 1])
+                for col, cell in enumerate(row[1:])
+            )
+            return f"{first}  {rest}".rstrip()
+
+        lines = [fmt(headers), fmt(tuple("-" * w for w in widths))]
+        lines.extend(fmt(row) for row in rows)
+        return "\n".join(lines)

@@ -127,7 +127,14 @@ DETERMINISTIC_ADVERSARIES = {
 
 
 @pytest.mark.parametrize("name", sorted(DETERMINISTIC_ADVERSARIES))
-def test_batched_and_fallback_executions_are_identical(name):
+def test_batched_and_fallback_executions_are_identical(name, monkeypatch):
+    if name == "capture":
+        # Capture's numpy leg draws one substream block per round (same
+        # law, different pattern than the per-receiver substreams), so
+        # batched-equals-per-receiver holds on the pure backend only;
+        # the numpy-leg guarantees (kernel-on vs kernel-off equality,
+        # law, determinism) live in tests/test_array_kernel.py.
+        monkeypatch.setattr(loss_mod, "_np", None)
     batched, legacy = run_pair(DETERMINISTIC_ADVERSARIES[name])
     assert batched.decisions == legacy.decisions
     assert batched.decision_rounds == legacy.decision_rounds
@@ -252,7 +259,11 @@ def test_composed_component_omission_surfaces_as_model_violation():
 def test_iid_batched_never_drops_self():
     senders = list(range(30))
     lost_map = IIDLoss(0.9, seed=5).losses_for_round(1, senders, senders)
-    assert type(lost_map) is ResolvedRoundLosses
+    # Normalized either way: plain ResolvedRoundLosses on the pure
+    # backend, the array-backed sibling on the numpy leg.
+    assert isinstance(
+        lost_map, (ResolvedRoundLosses, loss_mod.ArrayRoundLosses)
+    )
     for pid in senders:
         assert pid not in lost_map[pid]
 
@@ -273,7 +284,11 @@ def test_capture_effect_is_receiver_order_independent():
     assert forward == backward
 
 
-def test_capture_effect_batched_equals_per_receiver():
+def test_capture_effect_batched_equals_per_receiver(monkeypatch):
+    # Pure backend: the batched resolution *is* the per-receiver one.
+    # (The numpy leg draws a per-round substream block instead — same
+    # law, different pattern; covered by tests/test_array_kernel.py.)
+    monkeypatch.setattr(loss_mod, "_np", None)
     senders = [0, 1, 2, 3]
     receivers = [0, 1, 2, 3, 4, 5]
     adv = CaptureEffectLoss(capture_limit=2, seed=11)

@@ -433,6 +433,57 @@ def test_deadline_pool_beats_serial_timeout_path(tmp_path):
     )
 
 
+def _worker_pid_cell(params, seed):
+    """Reports which pool worker process ran it."""
+    return {"worker_pid": os.getpid(), "trial": params["trial"]}
+
+
+def test_deadline_pool_workers_survive_across_resumes(tmp_path):
+    """Two back-to-back resumes on one runner reuse the same pool
+    workers: the second pass's cells run on the pids the first pass
+    spawned, and only close() tears the pool down."""
+    runner = CampaignRunner(
+        _worker_pid_cell, db_path=str(tmp_path / "c.db"),
+        base_seed=2, processes=2, cell_timeout=30.0,
+    )
+    try:
+        first = runner.resume(trial=[0, 1])
+        pool_pids_after_first = {w.proc.pid for w in runner._pool}
+        second = runner.resume(trial=[0, 1, 2, 3])
+    finally:
+        procs = [w.proc for w in runner._pool]
+        runner.close()
+    first_pids = {o.payload["worker_pid"] for o in first}
+    assert len(pool_pids_after_first) == 2
+    assert first_pids <= pool_pids_after_first
+    # The second pass ran only the two new cells — on the same workers.
+    new_pids = {
+        o.payload["worker_pid"]
+        for o in second if o.params["trial"] in (2, 3)
+    }
+    assert new_pids <= pool_pids_after_first
+    assert {p.pid for p in procs} == pool_pids_after_first
+    # close() really shut the pool down (idempotently).
+    for proc in procs:
+        proc.join(5.0)
+        assert not proc.is_alive()
+    runner.close()
+    assert runner._pool == []
+
+
+def test_campaign_runner_context_manager_closes_pool(tmp_path):
+    with CampaignRunner(
+        _worker_pid_cell, db_path=str(tmp_path / "c.db"),
+        base_seed=2, processes=2, cell_timeout=30.0,
+    ) as runner:
+        runner.resume(trial=[0, 1])
+        procs = [w.proc for w in runner._pool]
+        assert procs  # the pool outlived the pass
+    for proc in procs:
+        proc.join(5.0)
+        assert not proc.is_alive()
+
+
 @pytest.mark.parametrize("processes", [0, 4])
 def test_dead_attempts_leave_zero_round_rows(tmp_path, processes):
     """A timed-out or failed attempt contributes nothing to
@@ -628,3 +679,59 @@ def test_cli_campaign_quick_rejects_explicit_grid_flags(tmp_path, capsys):
               "--n", "16"])
     assert excinfo.value.code == 2
     assert "--quick fixes the grid" in capsys.readouterr().err
+
+
+def test_report_table_aggregates_rounds_per_cell(tmp_path):
+    """The table view reads per-cell round counts and mean broadcast
+    counts straight out of round_summaries, in grid order, with aligned
+    columns."""
+    db = str(tmp_path / "campaign.db")
+    runner = CampaignRunner(
+        consensus_sweep_cell, db_path=db, base_seed=3, processes=0,
+        extra_params={"sqlite_db": db},
+    )
+    axes = dict(
+        n=[3], detector=["0-OAC"], loss_rate=[0.1, 0.3], trial=[0],
+        values=[8], record_policy=["summary"],
+    )
+    outcomes = runner.run(**axes)
+    table = runner.report_table(**axes)
+    lines = table.splitlines()
+    header, rule, *rows = lines
+    assert header.split() == [
+        "cell", "status", "attempts", "rounds", "mean_bcast"
+    ]
+    assert set(rule) <= {"-", " "}
+    assert len(rows) == len(outcomes) == 2
+    with SqliteSink(db) as store:
+        aggregates = store.round_aggregates()
+    for row, outcome in zip(rows, outcomes):
+        cols = row.split()
+        assert cols[0] == cell_tag(outcome.cell)
+        assert cols[1] == "done"
+        rounds, mean = aggregates[outcome.cell.seed]
+        assert cols[3] == str(rounds)
+        assert cols[4] == f"{mean:.2f}"
+    # Every header starts at a consistent column (alignment).
+    assert header.index("status") <= rows[0].index("done")
+
+
+def test_cli_campaign_report_table_subcommand(tmp_path, capsys):
+    from repro.__main__ import main
+
+    db = str(tmp_path / "campaign.db")
+    base = ["campaign", "--db", db, "--quick", "--seeds", "1",
+            "--processes", "0"]
+    assert main(base) == 0
+    capsys.readouterr()
+    assert main(["campaign", "report", "--table", "--db", db,
+                 "--quick", "--seeds", "1"]) == 0
+    out = capsys.readouterr().out
+    lines = [line for line in out.splitlines() if line.strip()]
+    assert lines[0].split()[:2] == ["cell", "status"]
+    assert len(lines) == 2 + 4  # header + rule + one row per quick cell
+    assert all("done" in line for line in lines[2:])
+    # --table without report mode is a usage error, not silence.
+    with pytest.raises(SystemExit) as excinfo:
+        main(["campaign", "--db", db, "--quick", "--table"])
+    assert excinfo.value.code == 2
