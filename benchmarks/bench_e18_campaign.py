@@ -18,16 +18,19 @@ CI's resume smoke exercises the durability story end to end::
     # pass 2: resume to completion, dump the canonical report
     python benchmarks/bench_e18_campaign.py --quick --db campaign.db \
         --report-out resumed.json
-    # clean single pass in a fresh store
+    # clean in-process serial reference pass in a fresh store
     python benchmarks/bench_e18_campaign.py --quick --db clean.db \
-        --report-out clean.json
+        --in-process --report-out clean.json
     cmp resumed.json clean.json        # byte-identical or CI fails
 
 The report deliberately excludes wall-clock noise, so the comparison is
-exact; ``--quick`` shrinks the grid for CI.  ``--processes`` composes
-with ``--timeout-per-cell`` (the deadline-aware pool), and
-``--compare-timeout-paths N`` additionally publishes serial-timeout vs
-pooled-timeout wall-clock (and report equality) in the JSON artifact.
+exact; ``--quick`` shrinks the grid for CI.  Every configuration runs
+the unified :class:`~repro.experiments.dispatch.CampaignDispatcher`
+pool (``--in-process`` is the serial escape hatch), and the artifact
+publishes ``worker_reuse`` — distinct worker pids vs cells dispatched —
+so a regression to spawn-per-cell is visible in the JSON.
+``--compare-timeout-paths N`` additionally wall-clocks the loop at
+width 1 against width N under deadlines and publishes the comparison.
 """
 
 from __future__ import annotations
@@ -58,47 +61,73 @@ def grid_axes(quick: bool) -> dict:
     )
 
 
+#: Per-cell wall-clock beat for the width comparison.  The consensus
+#: simulation itself runs in ~2ms, which no pool width can amortise
+#: past its own dispatch cost; the comparison is about the *loop's*
+#: concurrency under deadlines (the long-tailed cells deadline pools
+#: exist for), so each cell carries a fixed beat.
+PAD_SECONDS = 0.08
+
+
+def _padded_cell(params, seed):
+    """``consensus_sweep_cell`` plus a fixed wall-clock beat.
+
+    ``pad_seconds`` arrives via ``extra_params`` — merged into
+    ``params`` at execution time but excluded from cell identity and
+    seeding — so both comparison legs produce byte-identical reports
+    while each cell holds its worker long enough that the measurement
+    is dispatch concurrency, not the ~2ms simulation.
+    """
+    payload = consensus_sweep_cell(params, seed)
+    time.sleep(float(params.get("pad_seconds", 0.0)))
+    return payload
+
+
 def compare_timeout_paths(
     quick: bool, processes: int, cell_timeout: float, base_seed: int
 ) -> dict:
-    """Wall-clock the serial-timeout path against the deadline pool.
+    """Wall-clock the unified loop at width 1 against width ``processes``.
 
-    Runs the same grid twice in throwaway stores — once with
-    ``processes=1`` (one worker process per cell, serially) and once
-    with the deadline-aware pool at ``processes`` width — under the
+    Runs the same grid twice in throwaway stores — once on a one-worker
+    dispatcher pool and once at ``processes`` width — both under the
     same generous per-cell budget, and also byte-compares the two
-    reports: parallelism under deadlines must never change the merged
-    outcomes, only the wall-clock.
+    reports: pool width under deadlines must never change the merged
+    outcomes, only the wall-clock.  Each leg publishes its
+    ``worker_reuse`` accounting (distinct worker pids vs cells), so a
+    regression to spawn-per-cell dispatch shows up in the artifact.
     """
     axes = grid_axes(quick)
     tmp = tempfile.mkdtemp(prefix="repro-e18-timing-")
-    timings: dict = {}
+    timings: dict = {"worker_reuse": {}}
     reports = {}
     try:
-        for label, procs in (("serial", 1), ("pooled", processes)):
+        for label, procs in (("width1", 1), ("pooled", processes)):
             db = os.path.join(tmp, f"{label}.db")
-            runner = CampaignRunner(
-                consensus_sweep_cell,
+            with CampaignRunner(
+                _padded_cell,
                 db_path=db,
                 base_seed=base_seed,
                 processes=procs,
                 cell_timeout=cell_timeout,
-                extra_params={"sqlite_db": db},
-            )
-            start = time.perf_counter()
-            outcomes = runner.resume(**axes)
-            timings[f"{label}_seconds"] = time.perf_counter() - start
-            timings[f"{label}_cells"] = len(outcomes)
-            reports[label] = runner.report(**axes)
+                extra_params={"sqlite_db": db,
+                              "pad_seconds": PAD_SECONDS},
+            ) as runner:
+                start = time.perf_counter()
+                outcomes = runner.resume(**axes)
+                timings[f"{label}_seconds"] = time.perf_counter() - start
+                timings[f"{label}_cells"] = len(outcomes)
+                timings["worker_reuse"][label] = runner.last_dispatch_stats
+                reports[label] = runner.report(**axes)
     finally:
         shutil.rmtree(tmp, ignore_errors=True)
     timings["processes"] = processes
     timings["cell_timeout"] = cell_timeout
+    timings["pad_seconds"] = PAD_SECONDS
     timings["speedup"] = (
-        timings["serial_seconds"] / timings["pooled_seconds"]
+        timings["width1_seconds"] / timings["pooled_seconds"]
         if timings["pooled_seconds"] > 0 else None
     )
-    timings["reports_identical"] = reports["serial"] == reports["pooled"]
+    timings["reports_identical"] = reports["width1"] == reports["pooled"]
     return timings
 
 
@@ -110,7 +139,12 @@ def main() -> int:
                         help="sqlite checkpoint store (default campaign.db)")
     parser.add_argument("--base-seed", type=int, default=0)
     parser.add_argument("--processes", type=int, default=None,
-                        help="workers (0/1 = serial)")
+                        help="dispatcher pool width (0/1 = a one-worker "
+                             "pool; default: one per cpu)")
+    parser.add_argument("--in-process", action="store_true",
+                        help="run cells serially inside this process "
+                             "(the serial reference; no workers, "
+                             "timeouts unenforced)")
     parser.add_argument("--timeout-per-cell", type=float, default=None,
                         help="per-cell wall-clock budget in seconds")
     parser.add_argument("--max-cells", type=int, default=None,
@@ -118,10 +152,10 @@ def main() -> int:
                              "exit (deterministic interruption)")
     parser.add_argument("--compare-timeout-paths", type=int, default=None,
                         metavar="N",
-                        help="also wall-clock the serial timeout path "
-                             "against the deadline-aware pool at N "
-                             "workers (same grid, throwaway stores) and "
-                             "publish the comparison in the artifact")
+                        help="also wall-clock the unified loop at width "
+                             "1 against width N under deadlines (same "
+                             "grid, throwaway stores) and publish the "
+                             "comparison in the artifact")
     parser.add_argument("--compare-timeout", type=float, default=60.0,
                         help="per-cell budget for the comparison legs "
                              "(default 60s — generous, so the runs "
@@ -141,6 +175,7 @@ def main() -> int:
         processes=args.processes,
         cell_timeout=args.timeout_per_cell,
         extra_params={"sqlite_db": args.db},
+        in_process=args.in_process,
     )
     total = len(runner.cells(**axes))
     # Only done/timed_out cells are skipped on resume; failed cells are
@@ -154,8 +189,15 @@ def main() -> int:
     ran = pending if args.max_cells is None else min(pending, args.max_cells)
 
     start = time.perf_counter()
-    outcomes = runner.resume(max_cells=args.max_cells, **axes)
+    try:
+        outcomes = runner.resume(max_cells=args.max_cells, **axes)
+    finally:
+        runner.close()
     elapsed = time.perf_counter() - start
+    worker_reuse = runner.last_dispatch_stats  # None if nothing ran
+    if worker_reuse is not None and not worker_reuse["in_process"]:
+        print(f"worker reuse: {worker_reuse['distinct_worker_pids']} "
+              f"distinct worker pids over {worker_reuse['cells']} cells")
     statuses = {}
     for outcome in outcomes:
         statuses[outcome.status] = statuses.get(outcome.status, 0) + 1
@@ -173,7 +215,7 @@ def main() -> int:
             args.base_seed,
         )
         print(
-            f"timeout paths: serial {comparison['serial_seconds']:.2f}s vs "
+            f"timeout paths: width1 {comparison['width1_seconds']:.2f}s vs "
             f"pooled({comparison['processes']}) "
             f"{comparison['pooled_seconds']:.2f}s "
             f"-> {comparison['speedup']:.2f}x, reports identical: "
@@ -192,6 +234,7 @@ def main() -> int:
             "statuses": statuses,
             "elapsed_seconds": elapsed,
             "cells_per_second": (ran / elapsed) if elapsed > 0 else None,
+            "worker_reuse": worker_reuse,
         }
         if comparison is not None:
             artifact["timeout_paths"] = comparison

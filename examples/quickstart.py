@@ -32,11 +32,23 @@ def main() -> None:
     # Scaling up: sweep a whole (n x detector x loss_rate x seed) grid
     # as a *resumable campaign* — every finished cell is checkpointed in
     # a sqlite store, so an interrupted run continues where it stopped.
-    # --processes and --cell-timeout compose: a timed campaign runs on a
-    # deadline-aware worker pool (overruns are checkpointed timed_out
-    # while the grid keeps moving at full width), and failed cells are
-    # retried on resume only --max-retries times before they are left
-    # failed permanently:
+    # Every configuration runs the same unified dispatcher loop
+    # (a persistent selector-driven worker pool with per-cell deadlines
+    # and completion-order checkpointing); the flags only pick its shape:
+    #
+    #   --processes    --cell-timeout   what runs
+    #   ------------   --------------   ----------------------------------
+    #   N >= 2         any              N reused workers; overruns are
+    #                                   checkpointed timed_out while the
+    #                                   grid keeps moving at full width
+    #   0 / 1          any              the same loop on one reused
+    #                                   worker — deadlines still enforced
+    #   --in-process   (unenforced)     debug escape hatch: cells run
+    #                                   serially inside this process
+    #
+    # Reports are byte-identical across every row of that table, and
+    # failed cells are retried on resume only --max-retries times before
+    # they are left failed permanently:
     #
     #   python -m repro campaign --db campaign.db --quick \
     #       --processes 4 --cell-timeout 30 --max-retries 2

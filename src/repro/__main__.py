@@ -62,13 +62,17 @@ def _campaign_main(argv: list) -> int:
                         default=None, dest="cell_timeout",
                         help="per-cell wall-clock timeout in seconds; "
                              "overruns are checkpointed as timed_out. "
-                             "Composes with --processes: a timed "
-                             "campaign runs on the deadline-aware "
-                             "worker pool at full width")
+                             "Enforced at any --processes width by the "
+                             "unified dispatcher pool")
     parser.add_argument("--processes", type=int, default=None,
-                        help="worker count (0/1 = serial; default: one "
-                             "per cpu), honored with and without "
-                             "--cell-timeout")
+                        help="dispatcher pool width (0/1 = a one-worker "
+                             "pool; default: one per cpu), honored with "
+                             "and without --cell-timeout")
+    parser.add_argument("--in-process", action="store_true",
+                        help="debug escape hatch: run cells serially "
+                             "inside this process (no workers, timeouts "
+                             "unenforced); reports stay byte-identical "
+                             "to any pooled width")
     parser.add_argument("--max-retries", type=int, default=2,
                         help="how many times a failed cell is re-run by "
                              "later resumes before it is left failed "
@@ -117,11 +121,13 @@ def _campaign_main(argv: list) -> int:
         seeds = list(range(args.seeds if args.seeds is not None else 3))
 
     if args.report:
+        # Report mode never dispatches work, so the runner's pool is
+        # never spawned; in_process makes that explicit and free.
         runner = CampaignRunner(
             consensus_sweep_cell, db_path=args.db,
             base_seed=args.base_seed, processes=args.processes,
             cell_timeout=args.cell_timeout, max_retries=args.max_retries,
-            extra_params={"sqlite_db": args.db},
+            extra_params={"sqlite_db": args.db}, in_process=True,
         )
         render = runner.report_table if args.table else runner.report
         print(render(
@@ -135,7 +141,7 @@ def _campaign_main(argv: list) -> int:
         loss_rates=loss_rates, seeds=seeds, base_seed=args.base_seed,
         values=args.values, cell_timeout=args.cell_timeout,
         processes=args.processes, max_retries=args.max_retries,
-        max_cells=args.max_cells,
+        max_cells=args.max_cells, in_process=args.in_process,
     )
     for table in tables:
         print(table.render())

@@ -13,6 +13,7 @@ from .applications import run_applications
 from .campaign import CampaignOutcome, CampaignRunner, cell_tag
 from .conjecture import run_conjecture_exploration
 from .counting import run_counting_experiment
+from .dispatch import CampaignDispatcher, CellResult, execute_cell_job
 from .eventual_completeness import run_eventual_completeness
 from .detector_quality import (
     run_clock_calibration,
@@ -55,6 +56,7 @@ __all__ = [
     "SweepRunner", "SweepCell", "SweepOutcome",
     "sweep_grid", "cell_seed", "consensus_sweep_cell",
     "CampaignRunner", "CampaignOutcome", "cell_tag",
+    "CampaignDispatcher", "CellResult", "execute_cell_job",
     "run_parallel_sweep", "run_campaign_matrix",
     "REGISTRY", "render_all", "run_experiment",
     "ecf_environment", "maj_oac_environment", "zero_oac_environment",

@@ -25,22 +25,25 @@ durable, cell-granular checkpoints in a single ``campaign.db``
   in one pass or across N interrupted passes, because every payload is
   canonically JSON-serialised on the way into the store and all merging
   reads back out of the store.
-* **Per-cell deadlines, in parallel** — with ``cell_timeout`` set the
-  grid runs on a *deadline-aware pool*: ``processes`` persistent worker
-  processes, each fed cells over a pipe while the parent tracks one
-  wall-clock deadline per in-flight cell.  A cell that exceeds its
-  budget has its worker terminated (terminate→kill escalation, so a
-  SIGTERM-ignoring cell cannot hang the grid) and **replaced**, keeping
-  the pool at full width while the cell is checkpointed ``timed_out``
-  and the grid keeps moving.  Timeouts therefore no longer serialise
-  the campaign; ``processes=0``/``1`` still forces the serial
-  one-worker-per-cell path.  The pool is *persistent within one runner
-  lifetime*: workers spawned by the first timed pass stay parked on
-  their pipes between ``resume()`` calls and are reused by the next
-  pass (asserted by a worker-pid test), so a campaign loop does not pay
-  a pool spin-up per pass.  Call :meth:`CampaignRunner.close` (or use
-  the runner as a context manager) to tear the pool down; the
-  destructor backstops it.
+* **One dispatcher** — every configuration routes through
+  :class:`~repro.experiments.dispatch.CampaignDispatcher`: a persistent
+  pool of worker processes driven by a selector event loop over the
+  worker pipes.  ``processes`` sets the pool width (``None`` = CPU
+  count; ``0``/``1`` = a one-worker pool — still worker reuse, still
+  deadlines, just no parallelism) and ``cell_timeout`` optionally arms
+  one parent-tracked wall-clock deadline per in-flight cell.  A cell
+  that exceeds its budget has its worker terminated (terminate→kill
+  escalation, so a SIGTERM-ignoring cell cannot hang the grid) and
+  **replaced**, keeping the pool at full width while the cell is
+  checkpointed ``timed_out`` and the grid keeps moving; a worker that
+  dies mid-cell checkpoints its cell ``failed`` the same way.  The pool
+  is *persistent within one runner lifetime*: workers park on their
+  pipes between ``resume()`` calls and are reused by the next pass
+  (asserted by a worker-pid test), so a campaign loop does not pay a
+  pool spin-up per pass.  Call :meth:`CampaignRunner.close` (or use
+  the runner as a context manager) for the deterministic teardown;
+  ``in_process=True`` is the debugger escape hatch that skips workers
+  entirely (and cannot enforce timeouts).
 * **Failure isolation** — a cell that raises is checkpointed as
   ``failed`` (with the exception's repr) and the campaign moves on;
   unlike ``SweepRunner.run``, one bad cell never aborts the grid.
@@ -86,15 +89,8 @@ clobber each other's ``(cell_seed, round)`` rows in the shared
 
 from __future__ import annotations
 
-import collections
 import dataclasses
 import json
-import multiprocessing
-import os
-import pickle
-import time
-import warnings
-from multiprocessing import connection as mp_connection
 from typing import (
     Any,
     Callable,
@@ -109,22 +105,14 @@ from typing import (
 
 from ..core.errors import ConfigurationError
 from ..core.records import SqliteSink
-from .harness import (
-    SweepCell,
-    SweepRunner,
-    _canonical,
-    execute_cell_job,
-    probe_worker_processes,
-)
+from .dispatch import CampaignDispatcher, CellResult
+from .harness import SweepCell, SweepRunner, _canonical
 
 #: Cell statuses a resume does not re-run.
 SKIP_STATUSES: Tuple[str, ...] = ("done", "timed_out")
 
 #: Cell statuses a resume retries (subject to the ``max_retries`` budget).
 RETRY_STATUSES: Tuple[str, ...] = ("failed",)
-
-#: Grace period before a terminate escalates to kill.
-_TERM_GRACE: float = 5.0
 
 
 def cell_tag(cell: SweepCell) -> str:
@@ -169,128 +157,6 @@ class CampaignOutcome:
         return self.cell.as_dict()
 
 
-def _campaign_cell_worker(conn, fn, params: Dict[str, Any], seed: int) -> None:
-    """Serial-timeout worker: run one cell, ship (status, payload, error)."""
-    try:
-        status, payload, error, _ = execute_cell_job(fn, params, seed)
-        conn.send((status, payload, error))
-    except BaseException as exc:  # checkpointed as failed, never fatal
-        try:
-            conn.send(("failed", None, repr(exc)))
-        except Exception:
-            pass
-    finally:
-        conn.close()
-
-
-def _run_campaign_job(
-    job: Tuple[Callable[..., Any], SweepCell, Dict[str, Any]]
-) -> Tuple[int, str, Any, Optional[str], float]:
-    """Pool worker entry point (module-level so it pickles under spawn).
-
-    Returns ``(cell_index, status, payload, error, elapsed)`` and never
-    raises for a cell's own exception, so results can flow back through
-    ``imap_unordered`` — checkpointed in completion order — while still
-    being attributable to their cell.
-    """
-    fn, cell, extra = job
-    status, payload, error, elapsed = execute_cell_job(
-        fn, cell.as_dict(), cell.seed, extra
-    )
-    return (cell.index, status, payload, error, elapsed)
-
-
-def _deadline_pool_worker(conn, fn, extra: Dict[str, Any]) -> None:
-    """Persistent deadline-pool worker: loop over jobs fed by the parent.
-
-    Protocol: the parent sends ``(cell_index, params, seed)`` tuples,
-    strictly one in flight per worker, and a ``None`` sentinel to shut
-    down; the worker answers each job with ``(cell_index, status,
-    payload, error, elapsed)`` and never raises for a cell's own
-    exception (``BaseException`` included — a cell calling
-    ``sys.exit`` is checkpointed ``failed`` with the same ``repr`` the
-    serial path would record, never "worker died").  An overrun worker
-    is simply terminated by the parent — no cooperation required — and
-    a fresh worker takes its place.
-
-    Sibling workers fork-inherit the parent's end of this worker's
-    pipe, so a hard-killed parent (SIGKILL, OOM) never produces an EOF
-    here; the recv poll therefore watches for re-parenting and exits
-    when the parent is gone, so idle workers can't outlive a killed
-    campaign as orphans.
-    """
-    parent_pid = os.getppid()
-    try:
-        while True:
-            while not conn.poll(1.0):
-                if os.getppid() != parent_pid:
-                    return  # parent died without an EOF; don't orphan
-            try:
-                job = conn.recv()
-            except (EOFError, OSError):
-                break
-            if job is None:
-                break
-            index, params, seed = job
-            exit_after = False
-            try:
-                status, payload, error, elapsed = execute_cell_job(
-                    fn, params, seed, extra
-                )
-            except BaseException as exc:  # SystemExit/KeyboardInterrupt
-                status, payload, error, elapsed = (
-                    "failed", None, repr(exc), 0.0
-                )
-                exit_after = isinstance(exc, KeyboardInterrupt)
-            try:
-                conn.send((index, status, payload, error, elapsed))
-            except (BrokenPipeError, OSError):
-                break
-            if exit_after:
-                break  # interrupted: let the parent replace this worker
-    finally:
-        conn.close()
-
-
-class _PoolWorker:
-    """Parent-side handle on one deadline-pool worker process."""
-
-    __slots__ = ("proc", "conn")
-
-    def __init__(self, proc: multiprocessing.Process, conn) -> None:
-        self.proc = proc
-        self.conn = conn
-
-    def stop(self) -> None:
-        """Terminate→kill escalation; never returns with a live process."""
-        try:
-            self.conn.close()
-        except Exception:
-            pass
-        self.proc.terminate()
-        self.proc.join(_TERM_GRACE)
-        if self.proc.is_alive():
-            # SIGTERM caught/ignored or the cell is stuck in
-            # uninterruptible C code — escalate so one cell can never
-            # hang the grid.
-            self.proc.kill()
-            self.proc.join()
-
-    def shutdown(self) -> None:
-        """Graceful exit for an idle worker (sentinel, then escalate)."""
-        try:
-            self.conn.send(None)
-        except Exception:
-            pass
-        try:
-            self.conn.close()
-        except Exception:
-            pass
-        self.proc.join(_TERM_GRACE)
-        if self.proc.is_alive():
-            self.stop()
-
-
 class CampaignRunner:
     """A resumable, checkpointing wrapper around the sweep machinery.
 
@@ -307,18 +173,23 @@ class CampaignRunner:
     base_seed:
         Folded into every cell's deterministic seed.
     processes:
-        Worker count for both parallel paths (``None`` picks
-        ``min(cells, cpu_count)``; ``0``/``1`` forces serial).  Composes
-        with ``cell_timeout``: a timed campaign with ``processes`` > 1
-        runs on the deadline-aware pool at full width.
+        Dispatcher pool width (``None`` picks the CPU count; ``0``/``1``
+        mean a *one-worker pool*, not in-process execution — worker
+        reuse and deadline enforcement are universal).  Fewer workers
+        are spawned when the grid never keeps the full width busy.
     cell_timeout:
-        Per-cell wall-clock budget in seconds.  Overrunning cells are
-        terminated (terminate→kill escalation) and checkpointed as
-        ``timed_out`` while the grid keeps moving — on the
-        deadline-aware pool when ``processes`` allows parallelism, or
-        one worker process per cell serially otherwise.  When worker
-        processes are unavailable (sandboxed platforms), cells run
-        in-process with a warning and the timeout is not enforced.
+        Per-cell wall-clock budget in seconds, enforced at every pool
+        width.  Overrunning cells have their worker terminated
+        (terminate→kill escalation) and *replaced* while the cell is
+        checkpointed ``timed_out`` and the grid keeps moving.  When
+        worker processes are unavailable (sandboxed platforms), cells
+        run in-process with a warning and the timeout is not enforced.
+    in_process:
+        Debug escape hatch (CLI ``--in-process``): run cells serially
+        inside this process — no workers, no pickling, timeouts
+        unenforced.  Reports are byte-identical to any pooled
+        configuration of the same grid; this is the serial reference
+        the parity suite compares against.
     max_retries:
         How many times a ``failed`` cell may be *re*-run by later
         resumes (default 2, i.e. at most ``1 + max_retries`` total
@@ -329,6 +200,10 @@ class CampaignRunner:
     extra_params:
         Non-coordinate parameters merged into ``params`` at execution
         time only — excluded from seeding, cell identity, and reports.
+    idle_hook:
+        Optional callback invoked after every completed cell (passed
+        through to the dispatcher) — the seam for serving live queries
+        while a campaign runs.
     """
 
     def __init__(
@@ -340,6 +215,8 @@ class CampaignRunner:
         cell_timeout: Optional[float] = None,
         max_retries: int = 2,
         extra_params: Optional[Mapping[str, Any]] = None,
+        in_process: bool = False,
+        idle_hook: Optional[Callable[[], None]] = None,
     ) -> None:
         self.cell_fn = cell_fn
         self.db_path = str(db_path)
@@ -354,26 +231,40 @@ class CampaignRunner:
         self.extra_params = dict(extra_params or {})
         self._sweep = SweepRunner(cell_fn, processes=processes,
                                   base_seed=base_seed)
-        # The persistent deadline pool: workers survive across resume()
-        # passes within one runner lifetime (spawning a worker costs a
-        # fork plus a pipe, so back-to-back resumes — the normal
-        # campaign loop — must not pay it per pass).  Workers are
-        # spawned lazily by the first timed parallel pass, kept while
-        # idle, replaced when they die or overrun a deadline, and torn
-        # down by close() (or the destructor as a backstop).
-        self._pool: List[_PoolWorker] = []
+        # The one dispatcher every configuration routes through.  Its
+        # pool is persistent across resume() passes within one runner
+        # lifetime (spawning a worker costs a fork plus a pipe, so
+        # back-to-back resumes — the normal campaign loop — must not
+        # pay it per pass); close() is the deterministic teardown.
+        self._dispatcher = CampaignDispatcher(
+            cell_fn,
+            extra_params=self.extra_params,
+            processes=processes,
+            cell_timeout=cell_timeout,
+            in_process=in_process,
+            idle_hook=idle_hook,
+        )
+        #: Worker-reuse accounting for the most recent pass that ran
+        #: cells: ``{"cells", "distinct_worker_pids", "in_process"}``
+        #: (``None`` until a pass dispatches work).  Benchmarks publish
+        #: this so a regression to spawn-per-cell is visible.
+        self.last_dispatch_stats: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
-    def close(self) -> None:
-        """Shut down the persistent deadline pool (idempotent).
+    @property
+    def dispatcher(self) -> CampaignDispatcher:
+        """The runner's persistent dispatcher (one per runner lifetime)."""
+        return self._dispatcher
 
-        Idle workers get the graceful sentinel; anything still alive
-        after the grace period is terminated.  The runner remains usable
-        afterwards — the next timed parallel pass simply respawns its
-        workers.
+    def close(self) -> None:
+        """Deterministically tear down the dispatcher pool (idempotent).
+
+        Every parked worker gets the shutdown sentinel, pipes are
+        closed, and processes are joined within the grace period —
+        terminate→kill for stragglers.  The runner remains usable
+        afterwards: the next pass simply respawns its workers.
         """
-        while self._pool:
-            self._pool.pop().shutdown()
+        self._dispatcher.close()
 
     def __enter__(self) -> "CampaignRunner":
         return self
@@ -481,6 +372,16 @@ class CampaignRunner:
         pending: Sequence[SweepCell],
         prior_attempts: Mapping[int, int],
     ) -> None:
+        """Dispatch every pending cell and checkpoint in completion order.
+
+        All of it — serial or parallel, with or without deadlines — is
+        one :meth:`CampaignDispatcher.run` call.  ``pre_fork`` points at
+        ``store.disconnect``: the dispatcher invokes it immediately
+        before *every* worker spawn (first fill and replacements alike),
+        which is the single place the "never fork with a live sqlite
+        connection" invariant is enforced — checkpointing between
+        completions reopens the store lazily.
+        """
         # A pending cell may have streamed rounds in a killed or failed
         # earlier attempt; clear them so stale rows can never linger
         # past the new attempt's final round.
@@ -490,291 +391,23 @@ class CampaignRunner:
             cell.index: prior_attempts.get(cell.index, 0) + 1
             for cell in pending
         }
-        if self.cell_timeout is not None:
-            store.disconnect()  # no sqlite connection may cross the forks
-            try:
-                probe_worker_processes()
-            except Exception as exc:
-                warnings.warn(
-                    f"CampaignRunner: worker processes unavailable "
-                    f"({exc!r}); running cells in-process — per-cell "
-                    "timeouts are NOT enforced",
-                    RuntimeWarning,
-                    stacklevel=4,
-                )
-                for cell in pending:
-                    index, status, payload, error, elapsed = (
-                        _run_campaign_job(
-                            (self.cell_fn, cell, self.extra_params)
-                        )
-                    )
-                    self._checkpoint(store, cell, status, payload=payload,
-                                     error=error, elapsed=elapsed,
-                                     attempts=attempts[index])
-                return
-            width = self.processes
-            if width is None:
-                width = multiprocessing.cpu_count() or 1
-            width = min(len(pending), int(width))
-            if width > 1 and self._cell_fn_picklable():
-                self._run_deadline_pool(store, pending, attempts, width)
-            else:
-                self._run_with_timeouts(store, pending, attempts)
-        else:
-            self._run_pooled(store, pending, attempts)
+        pids = set()
 
-    # -- no-timeout path: pool fan-out, checkpoint as results arrive ----
-    def _run_pooled(
-        self,
-        store: SqliteSink,
-        pending: Sequence[SweepCell],
-        attempts: Mapping[int, int],
-    ) -> None:
-        jobs = [(self.cell_fn, cell, self.extra_params) for cell in pending]
-        workers = self.processes
-        if workers is None:
-            workers = min(len(jobs), multiprocessing.cpu_count() or 1)
-        pool = None
-        if workers > 1 and len(jobs) > 1:
-            try:
-                pickle.dumps((self.cell_fn, self.extra_params))
-                # Never fork with a live sqlite connection: the child's
-                # inherited descriptor can break the parent's WAL locks.
-                store.disconnect()
-                pool = multiprocessing.Pool(workers)
-            except Exception as exc:
-                warnings.warn(
-                    f"CampaignRunner: pool unavailable ({exc!r}); running "
-                    "cells serially in-process",
-                    RuntimeWarning,
-                    stacklevel=3,
-                )
-        if pool is None:
-            for job in jobs:
-                index, status, payload, error, elapsed = _run_campaign_job(job)
-                self._checkpoint(store, job[1], status, payload=payload,
-                                 error=error, elapsed=elapsed,
-                                 attempts=attempts[index])
-            return
-        # imap_unordered checkpoints every cell the moment it completes:
-        # a kill mid-grid loses only cells still in flight, never a
-        # finished cell queued behind a slow neighbour.  Workers catch
-        # their cell's exception and return it tagged with the cell
-        # index, so failures stay attributable out of order.
-        by_index = {cell.index: cell for cell in pending}
-        with pool:
-            for index, status, payload, error, elapsed in (
-                pool.imap_unordered(_run_campaign_job, jobs)
-            ):
-                self._checkpoint(store, by_index[index], status,
-                                 payload=payload, error=error,
-                                 elapsed=elapsed, attempts=attempts[index])
-
-    # -- deadline-aware pool: parallel fan-out under per-cell budgets ---
-    def _cell_fn_picklable(self) -> bool:
-        """Can the cell function cross a process boundary by pickling?
-
-        The serial timeout path inherits the function over the fork, so
-        an unpicklable cell only forfeits the pool's parallelism (with a
-        warning), never the timeout enforcement itself.
-        """
-        try:
-            pickle.dumps((self.cell_fn, self.extra_params))
-        except Exception as exc:
-            warnings.warn(
-                f"CampaignRunner: deadline pool unavailable ({exc!r}); "
-                "falling back to one worker process per cell",
-                RuntimeWarning,
-                stacklevel=5,
-            )
-            return False
-        return True
-
-    def _spawn_pool_worker(self, store: SqliteSink) -> _PoolWorker:
-        # Checkpointing between jobs reopens the store; always drop the
-        # connection again before forking a worker (or a replacement).
-        store.disconnect()
-        parent_conn, child_conn = multiprocessing.Pipe()
-        proc = multiprocessing.Process(
-            target=_deadline_pool_worker,
-            args=(child_conn, self.cell_fn, self.extra_params),
-        )
-        # Daemonic, like multiprocessing.Pool's own workers on the
-        # no-timeout path: a persistent worker parked between passes
-        # must never block interpreter shutdown when a caller forgets
-        # close() — the atexit join of a non-daemon child would
-        # deadlock against a parent that is already past __del__.
-        # (Consequence, shared with the Pool path: cells themselves
-        # cannot spawn child processes.)
-        proc.daemon = True
-        proc.start()
-        child_conn.close()
-        return _PoolWorker(proc, parent_conn)
-
-    def _run_deadline_pool(
-        self,
-        store: SqliteSink,
-        pending: Sequence[SweepCell],
-        attempts: Mapping[int, int],
-        width: int,
-    ) -> None:
-        """Fan ``pending`` over ``width`` persistent workers with deadlines.
-
-        The parent owns all bookkeeping: it feeds each idle worker one
-        cell, stamps the cell's wall-clock deadline, multiplexes on the
-        worker pipes with :func:`multiprocessing.connection.wait`, and
-        checkpoints results in completion order.  A worker that overruns
-        its cell's deadline is stopped (terminate→kill) and replaced so
-        the pool never narrows; its cell is checkpointed ``timed_out``
-        and the grid keeps moving.  A worker that dies mid-cell (OOM
-        kill, hard crash) checkpoints the cell ``failed`` and is
-        replaced the same way.
-
-        The pool itself outlives the pass: workers left idle when the
-        queue drains stay parked on their pipes for the runner's next
-        ``resume()`` (a dead idle worker is detected on feed and
-        replaced), and only :meth:`close` — or an exceptional exit, for
-        workers still mid-cell — tears them down.
-        """
-        queue = collections.deque(pending)
-        workers = self._pool
-        while len(workers) < width:
-            workers.append(self._spawn_pool_worker(store))
-        # worker -> (cell, started, deadline) for in-flight cells.
-        busy: Dict[_PoolWorker, Tuple[SweepCell, float, float]] = {}
-
-        def replace(worker: _PoolWorker) -> None:
-            workers.remove(worker)
-            worker.stop()
-            workers.append(self._spawn_pool_worker(store))
-
-        def finish(worker: _PoolWorker, cell: SweepCell,
-                   started: float) -> None:
-            """Collect one result from a readable worker and checkpoint."""
-            try:
-                _, status, payload, error, elapsed = worker.conn.recv()
-            except (EOFError, OSError):
-                # The worker died without shipping a result.
-                self._checkpoint(
-                    store, cell, "failed",
-                    error="worker died without a result",
-                    elapsed=time.monotonic() - started,
-                    attempts=attempts[cell.index],
-                )
-                replace(worker)
-                return
-            self._checkpoint(store, cell, status, payload=payload,
-                             error=error, elapsed=elapsed,
+        def checkpoint(cell: SweepCell, result: CellResult) -> None:
+            self._checkpoint(store, cell, result.status,
+                             payload=result.payload, error=result.error,
+                             elapsed=result.elapsed,
                              attempts=attempts[cell.index])
+            if result.worker_pid is not None:
+                pids.add(result.worker_pid)
 
-        try:
-            while queue or busy:
-                for worker in list(workers):
-                    if worker in busy or not queue:
-                        continue
-                    cell = queue.popleft()
-                    try:
-                        worker.conn.send(
-                            (cell.index, cell.as_dict(), cell.seed)
-                        )
-                    except (BrokenPipeError, OSError):
-                        # Worker died while idle; requeue and replace.
-                        queue.appendleft(cell)
-                        replace(worker)
-                        continue
-                    now = time.monotonic()
-                    busy[worker] = (cell, now, now + self.cell_timeout)
-                if not busy:
-                    continue
-                wait_for = max(
-                    0.0,
-                    min(d for _, _, d in busy.values()) - time.monotonic(),
-                )
-                ready = mp_connection.wait(
-                    [w.conn for w in busy], wait_for
-                )
-                by_conn = {w.conn: w for w in busy}
-                for conn in ready:
-                    worker = by_conn[conn]
-                    cell, started, _ = busy.pop(worker)
-                    finish(worker, cell, started)
-                now = time.monotonic()
-                for worker in [
-                    w for w, (_, _, d) in busy.items() if now >= d
-                ]:
-                    cell, started, _ = busy.pop(worker)
-                    if worker.conn.poll():
-                        # The result landed between the wait and the
-                        # deadline sweep — a result in hand always beats
-                        # the deadline.
-                        finish(worker, cell, started)
-                        continue
-                    replace(worker)
-                    self._checkpoint(
-                        store, cell, "timed_out",
-                        elapsed=time.monotonic() - started,
-                        attempts=attempts[cell.index],
-                    )
-        finally:
-            # Keep idle workers for the next pass; only workers still
-            # mid-cell (we are unwinding through an exception) are in an
-            # unknown state and must go.
-            for worker in list(busy):
-                if worker in workers:
-                    workers.remove(worker)
-                worker.stop()
-
-    # -- serial timeout path: one worker process per cell ----------------
-    def _run_with_timeouts(
-        self,
-        store: SqliteSink,
-        pending: Sequence[SweepCell],
-        attempts: Mapping[int, int],
-    ) -> None:
-        # Worker availability was already probed by _run_pending.
-        for cell in pending:
-            start = time.monotonic()
-            store.disconnect()  # checkpointing reopened it; drop pre-fork
-            status, payload, error = self._run_one_with_timeout(cell)
-            self._checkpoint(store, cell, status, payload=payload,
-                             error=error, elapsed=time.monotonic() - start,
-                             attempts=attempts[cell.index])
-
-    def _run_one_with_timeout(self, cell: SweepCell):
-        parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
-        params = dict(cell.as_dict(), **self.extra_params)
-        proc = multiprocessing.Process(
-            target=_campaign_cell_worker,
-            args=(child_conn, self.cell_fn, params, cell.seed),
-        )
-        proc.start()
-        child_conn.close()
-        try:
-            if parent_conn.poll(self.cell_timeout):
-                try:
-                    status, payload, error = parent_conn.recv()
-                except EOFError:
-                    status, payload, error = (
-                        "failed", None, "worker died without a result"
-                    )
-                # The result is in hand; never let a worker that won't
-                # exit (stray non-daemon thread, blocking atexit hook)
-                # stall the grid.
-                proc.join(_TERM_GRACE)
-                if proc.is_alive():
-                    proc.kill()
-                    proc.join()
-                return status, payload, error
-            proc.terminate()
-            proc.join(_TERM_GRACE)
-            if proc.is_alive():
-                # SIGTERM caught or the cell is stuck in uninterruptible
-                # C code — escalate so one cell can never hang the grid.
-                proc.kill()
-                proc.join()
-            return "timed_out", None, None
-        finally:
-            parent_conn.close()
+        self._dispatcher.run(pending, checkpoint,
+                             pre_fork=store.disconnect)
+        self.last_dispatch_stats = {
+            "cells": len(pending),
+            "distinct_worker_pids": len(pids),
+            "in_process": self._dispatcher.in_process,
+        }
 
     # ------------------------------------------------------------------
     def _merge(

@@ -1,0 +1,606 @@
+"""One dispatcher for every campaign: a selector-driven persistent pool.
+
+Every way of running a grid of sweep cells — serial, parallel, with or
+without per-cell deadlines — is the *same* loop at a different width.
+:class:`CampaignDispatcher` owns a persistent pool of worker processes
+and drives them with a :mod:`selectors` event loop over the worker
+pipes; the campaign runner, the sweep harness, and the benchmarks all
+route through it, so worker reuse, deadline enforcement, and
+completion-order delivery are universal rather than features of one
+code path.
+
+The decision table (there is no fourth path)::
+
+    in_process  processes  cell_timeout   behaviour
+    ----------  ---------  ------------   ------------------------------
+    True        (ignored)  (unenforced)   cells run serially inside the
+                                          calling process — the debug
+                                          escape hatch; a set timeout
+                                          warns that it cannot be
+                                          enforced
+    False       0/1        None           one persistent worker, results
+                                          in completion order (== grid
+                                          order at width 1)
+    False       0/1        t seconds      same worker, but each cell has
+                                          a wall-clock deadline; overrun
+                                          => terminate->kill, replace,
+                                          checkpoint ``timed_out``
+    False       N>1/None   None           N persistent workers (None =
+                                          cpu count), completion-order
+                                          delivery, worker reuse across
+                                          cells and across passes
+    False       N>1/None   t seconds      the full deadline pool: N
+                                          workers, one parent-tracked
+                                          deadline per in-flight cell
+
+Contract highlights:
+
+* **One execution contract** — :func:`execute_cell_job` is the only
+  place a cell function is invoked, whether in-process or on a worker,
+  so a cell behaves identically everywhere (exceptions become ``failed``
+  results carrying the exception object when it can cross the pipe).
+* **Cell sources are iterators** — :meth:`CampaignDispatcher.run`
+  accepts any iterable of cells and pulls from it *lazily*: a new cell
+  is materialised only when a worker slot frees up (never more than
+  ``width`` cells ahead of the results).  This is the seam for
+  distributed sharding: a shard host is this loop fed by a shard
+  iterator instead of a list.
+* **Idle hook** — a callback invoked after every completed cell, while
+  the loop is between completions.  This is the seam for a long-lived
+  analytics service: a campaign can answer live queries from the hook
+  without a second thread.
+* **Deterministic teardown** — :meth:`CampaignDispatcher.close` settles
+  the pool synchronously: sentinel to every idle worker, pipes closed,
+  ``join(grace)``, terminate->kill escalation for stragglers.  Workers
+  are additionally daemonic purely as an interpreter-exit backstop for
+  callers that never close; correctness never leans on GC timing.
+* **Fork hygiene** — the ``pre_fork`` callback passed to ``run`` is
+  invoked immediately before *every* worker spawn (first fill and
+  replacements alike).  The campaign runner points it at
+  ``store.disconnect``, making this the single place the "never fork
+  with a live sqlite connection" invariant is enforced.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import multiprocessing
+import os
+import pickle
+import selectors
+import time
+import warnings
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+#: Grace period before a terminate escalates to kill.
+TERM_GRACE: float = 5.0
+
+
+# ----------------------------------------------------------------------
+# The cell-execution contract
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class CellResult:
+    """The outcome of one dispatched cell, however it ran.
+
+    ``status`` is ``done``, ``failed``, or ``timed_out``.  ``error`` is
+    the repr of the cell's exception (or a dispatcher-level diagnosis
+    such as a worker death); ``exception`` carries the exception object
+    itself when it survived the pipe, so callers that want to re-raise
+    (the sweep harness) keep the original type.  ``worker_pid`` is the
+    pool worker that ran the cell (``None`` in-process) — the raw
+    material for worker-reuse accounting.
+    """
+
+    index: int
+    status: str
+    payload: Any = None
+    error: Optional[str] = None
+    elapsed: float = 0.0
+    exception: Optional[BaseException] = None
+    worker_pid: Optional[int] = None
+
+
+def execute_cell_job(
+    fn: Callable[[Dict[str, Any], int], Any],
+    params: Mapping[str, Any],
+    seed: int,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> Tuple[str, Any, Optional[str], float, Optional[BaseException]]:
+    """Run one cell function, never letting its exception escape.
+
+    Returns ``(status, payload, error, elapsed, exception)`` with status
+    ``done`` or ``failed`` — the single execution contract behind every
+    dispatch configuration, so a cell behaves identically whether it ran
+    in-process or on a pool worker.
+    """
+    start = time.monotonic()
+    try:
+        payload = fn(dict(params, **(extra or {})), seed)
+    except Exception as exc:
+        return ("failed", None, repr(exc), time.monotonic() - start, exc)
+    return ("done", payload, None, time.monotonic() - start, None)
+
+
+def probe_worker_processes() -> None:
+    """Raise when this platform cannot start worker processes."""
+    proc = multiprocessing.Process(target=_noop_worker)
+    proc.start()
+    proc.join()
+
+
+def _noop_worker() -> None:
+    """Target for :func:`probe_worker_processes` (module-level to pickle)."""
+
+
+# ----------------------------------------------------------------------
+# The worker side of the pipe protocol
+# ----------------------------------------------------------------------
+def _dispatch_worker(conn, fn, extra: Dict[str, Any]) -> None:
+    """Persistent pool worker: loop over jobs fed by the parent.
+
+    Protocol: the parent sends ``(cell_index, params, seed)`` tuples,
+    strictly one in flight per worker, and a ``None`` sentinel to shut
+    down; the worker answers each job with ``(cell_index, status,
+    payload, error, elapsed, exception)`` and never raises for a cell's
+    own exception (``BaseException`` included — a cell calling
+    ``sys.exit`` comes back ``failed`` with the same ``repr`` the
+    in-process path would record, never "worker died").  A result whose
+    payload or exception cannot be pickled degrades to a ``failed``
+    reply naming the pickling problem, so the parent always hears back.
+    An overrun worker is simply terminated by the parent — no
+    cooperation required — and a fresh worker takes its place.
+
+    Sibling workers fork-inherit the parent's end of this worker's
+    pipe, so a hard-killed parent (SIGKILL, OOM) never produces an EOF
+    here; the recv poll therefore watches for re-parenting and exits
+    when the parent is gone, so idle workers can't outlive a killed
+    campaign as orphans.
+    """
+    parent_pid = os.getppid()
+    try:
+        while True:
+            while not conn.poll(1.0):
+                if os.getppid() != parent_pid:
+                    return  # parent died without an EOF; don't orphan
+            try:
+                job = conn.recv()
+            except (EOFError, OSError):
+                break
+            if job is None:
+                break
+            index, params, seed = job
+            exit_after = False
+            try:
+                status, payload, error, elapsed, exc = execute_cell_job(
+                    fn, params, seed, extra
+                )
+            except BaseException as caught:  # SystemExit/KeyboardInterrupt
+                status, payload, error, elapsed, exc = (
+                    "failed", None, repr(caught), 0.0, None
+                )
+                exit_after = isinstance(caught, KeyboardInterrupt)
+            try:
+                try:
+                    conn.send((index, status, payload, error, elapsed, exc))
+                except (BrokenPipeError, OSError):
+                    break
+                except Exception as send_exc:
+                    # Connection.send pickles before writing, so a
+                    # pickling failure leaves the pipe clean for the
+                    # degraded reply.
+                    conn.send((
+                        index, "failed", None,
+                        f"cell result not picklable: {send_exc!r}",
+                        elapsed, None,
+                    ))
+            except (BrokenPipeError, OSError):
+                break
+            if exit_after:
+                break  # interrupted: let the parent replace this worker
+    finally:
+        conn.close()
+
+
+class _Worker:
+    """Parent-side handle on one pool worker process."""
+
+    __slots__ = ("proc", "conn")
+
+    def __init__(self, proc: multiprocessing.Process, conn) -> None:
+        self.proc = proc
+        self.conn = conn
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.proc.pid
+
+    def stop(self, grace: float = TERM_GRACE) -> None:
+        """Terminate->kill escalation; never returns with a live process."""
+        try:
+            self.conn.close()
+        except Exception:
+            pass
+        self.proc.terminate()
+        self.proc.join(grace)
+        if self.proc.is_alive():
+            # SIGTERM caught/ignored or the cell is stuck in
+            # uninterruptible C code — escalate so one cell can never
+            # hang the grid.
+            self.proc.kill()
+            self.proc.join()
+
+    def shutdown(self, grace: float = TERM_GRACE) -> None:
+        """Graceful exit for an idle worker: sentinel, close the pipe,
+        ``join(grace)``, then escalate.  Deterministic — the caller gets
+        back a reaped process or none at all, never a leak."""
+        try:
+            self.conn.send(None)
+        except Exception:
+            pass
+        try:
+            self.conn.close()
+        except Exception:
+            pass
+        self.proc.join(grace)
+        if self.proc.is_alive():
+            self.stop(grace)
+
+
+# ----------------------------------------------------------------------
+# The dispatcher
+# ----------------------------------------------------------------------
+class CampaignDispatcher:
+    """A persistent worker pool driven by one selector event loop.
+
+    Parameters
+    ----------
+    cell_fn:
+        The cell function ``fn(params, seed) -> payload``.  Must be
+        picklable for pooled execution (probed up front; an unpicklable
+        function degrades to in-process execution with a warning, never
+        a crash).
+    extra_params:
+        Non-coordinate parameters merged into every cell's ``params`` at
+        execution time (the campaign's infra paths).
+    processes:
+        Pool width.  ``None`` resolves to the CPU count; ``0``/``1``
+        mean a one-worker pool — still worker reuse, still deadlines,
+        just no parallelism.  Fewer workers than ``width`` are spawned
+        when the cell source never keeps that many busy.
+    cell_timeout:
+        Optional per-cell wall-clock budget in seconds.  ``None`` means
+        no deadline tracking: the same loop simply blocks on the worker
+        pipes without a timeout.
+    in_process:
+        Escape hatch: run every cell serially inside the calling
+        process (no workers, no pickling, debugger-friendly).  Timeouts
+        cannot be enforced in-process; a set ``cell_timeout`` warns.
+    idle_hook:
+        Callback invoked with no arguments after each completed cell —
+        the seam for serving live queries while a campaign runs.  A
+        per-``run`` hook can override it.
+    term_grace:
+        Grace period before terminate escalates to kill.
+
+    The pool is *persistent across* :meth:`run` *calls*: workers spawned
+    by one pass park on their pipes and are reused by the next, so a
+    resume loop does not pay a pool spin-up per pass.  :meth:`close`
+    (or the context manager exit) tears the pool down deterministically.
+    """
+
+    def __init__(
+        self,
+        cell_fn: Callable[[Dict[str, Any], int], Any],
+        extra_params: Optional[Mapping[str, Any]] = None,
+        processes: Optional[int] = None,
+        cell_timeout: Optional[float] = None,
+        in_process: bool = False,
+        idle_hook: Optional[Callable[[], None]] = None,
+        term_grace: float = TERM_GRACE,
+    ) -> None:
+        self.cell_fn = cell_fn
+        self.extra_params = dict(extra_params or {})
+        if processes is None:
+            width = multiprocessing.cpu_count() or 1
+        else:
+            width = max(1, int(processes))
+        self.width = width
+        self.cell_timeout = cell_timeout
+        self.idle_hook = idle_hook
+        self.term_grace = term_grace
+        self._in_process = bool(in_process)
+        # An explicitly in-process dispatcher needs no capability probe.
+        self._probed = bool(in_process)
+        self._warned_unenforced = False
+        self._workers: List[_Worker] = []
+        self._pre_fork: Optional[Callable[[], None]] = None
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def in_process(self) -> bool:
+        """Whether cells run inside the calling process (resolved mode)."""
+        return self._in_process
+
+    def worker_pids(self) -> List[int]:
+        """Pids of the currently parked/live pool workers."""
+        return [w.pid for w in self._workers if w.pid is not None]
+
+    def close(self) -> None:
+        """Deterministic pool teardown (idempotent).
+
+        Every parked worker gets the shutdown sentinel, its pipe is
+        closed, and the process is ``join``\\ ed within the grace period
+        — terminate->kill for anything still alive after it.  Nothing is
+        left to daemon-flag or destructor timing; after ``close``
+        returns there are no pool children.  The dispatcher remains
+        usable: the next :meth:`run` simply respawns workers.
+        """
+        while self._workers:
+            self._workers.pop().shutdown(self.term_grace)
+
+    def __enter__(self) -> "CampaignDispatcher":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- mode resolution ------------------------------------------------
+    def _resolve_in_process(self) -> bool:
+        """Probe once whether pooled execution is possible here."""
+        if self._probed:
+            return self._in_process
+        self._probed = True
+        try:
+            pickle.dumps((self.cell_fn, self.extra_params))
+        except Exception as exc:
+            warnings.warn(
+                f"CampaignDispatcher: cell function not picklable "
+                f"({exc!r}); running cells serially in-process",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            self._in_process = True
+            return True
+        try:
+            if self._pre_fork is not None:
+                self._pre_fork()  # the probe forks too
+            probe_worker_processes()
+        except Exception as exc:
+            warnings.warn(
+                f"CampaignDispatcher: worker processes unavailable "
+                f"({exc!r}); running cells in-process",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            self._in_process = True
+            return True
+        return False
+
+    def _warn_unenforced_timeout(self) -> None:
+        if self.cell_timeout is not None and not self._warned_unenforced:
+            self._warned_unenforced = True
+            warnings.warn(
+                "CampaignDispatcher: cells run in-process — per-cell "
+                "timeouts are NOT enforced",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+
+    # -- the loop -------------------------------------------------------
+    def run(
+        self,
+        cells: Iterable[Any],
+        on_result: Callable[[Any, CellResult], None],
+        pre_fork: Optional[Callable[[], None]] = None,
+        idle_hook: Optional[Callable[[], None]] = None,
+    ) -> int:
+        """Drive every cell from ``cells`` through the pool.
+
+        ``cells`` may be any iterable of cell objects exposing
+        ``.index``, ``.seed``, and ``.as_dict()`` (duck-typed —
+        :class:`~repro.experiments.harness.SweepCell` is the usual
+        shape); it is consumed *lazily*, one pull per freed worker slot.
+        ``on_result(cell, result)`` fires in completion order; an
+        exception it raises aborts the run (in-flight workers are
+        stopped, parked workers survive) and propagates.  ``pre_fork``
+        is called immediately before every worker spawn during this run.
+        Returns the number of completed cells.
+        """
+        hook = self.idle_hook if idle_hook is None else idle_hook
+        self._pre_fork = pre_fork
+        try:
+            if self._resolve_in_process():
+                self._warn_unenforced_timeout()
+                return self._run_in_process(cells, on_result, hook)
+            return self._run_pool(cells, on_result, hook)
+        finally:
+            self._pre_fork = None
+
+    def _run_in_process(self, cells, on_result, hook) -> int:
+        completed = 0
+        for cell in cells:
+            status, payload, error, elapsed, exc = execute_cell_job(
+                self.cell_fn, cell.as_dict(), cell.seed, self.extra_params
+            )
+            completed += 1
+            on_result(cell, CellResult(
+                index=cell.index, status=status, payload=payload,
+                error=error, elapsed=elapsed, exception=exc,
+                worker_pid=None,
+            ))
+            if hook is not None:
+                hook()
+        return completed
+
+    def _spawn(self) -> _Worker:
+        # Checkpointing between completions may have reopened the
+        # caller's store; pre_fork (store.disconnect) runs before every
+        # spawn — first fill and replacements alike — because an sqlite
+        # connection must never cross a fork.
+        if self._pre_fork is not None:
+            self._pre_fork()
+        parent_conn, child_conn = multiprocessing.Pipe()
+        proc = multiprocessing.Process(
+            target=_dispatch_worker,
+            args=(child_conn, self.cell_fn, self.extra_params),
+        )
+        # Daemonic as an interpreter-exit backstop only: close() is the
+        # real teardown, but a caller that never closes must not
+        # deadlock interpreter shutdown on the atexit join of a
+        # non-daemon child.  (Consequence: cells themselves cannot
+        # spawn child processes.)
+        proc.daemon = True
+        proc.start()
+        child_conn.close()
+        return _Worker(proc, parent_conn)
+
+    def _run_pool(self, cells, on_result, hook) -> int:
+        source = iter(cells)
+        requeue: collections.deque = collections.deque()
+        exhausted = False
+
+        def next_cell():
+            nonlocal exhausted
+            if requeue:
+                return requeue.popleft()
+            if exhausted:
+                return None
+            cell = next(source, None)
+            if cell is None:
+                exhausted = True
+            return cell
+
+        completed = 0
+
+        def deliver(cell, result: CellResult) -> None:
+            nonlocal completed
+            completed += 1
+            on_result(cell, result)
+            if hook is not None:
+                hook()
+
+        # worker -> (cell, started, deadline-or-None) for in-flight cells.
+        busy: Dict[_Worker, Tuple[Any, float, Optional[float]]] = {}
+        sel = selectors.DefaultSelector()
+
+        def retire(worker: _Worker) -> None:
+            """Drop a worker from the pool and stop it (terminate->kill)."""
+            if worker in self._workers:
+                self._workers.remove(worker)
+            worker.stop(self.term_grace)
+
+        def collect(worker: _Worker, cell, started: float) -> None:
+            """Recv one result (or a death) from a readable worker."""
+            sel.unregister(worker.conn)
+            try:
+                _, status, payload, error, elapsed, exc = worker.conn.recv()
+            except (EOFError, OSError):
+                # The worker died mid-cell (OOM kill, hard crash)
+                # without shipping a result; the cell checkpoints
+                # ``failed`` and the pool refills lazily.
+                pid = worker.pid
+                retire(worker)
+                deliver(cell, CellResult(
+                    index=cell.index, status="failed",
+                    error="worker died without a result",
+                    elapsed=time.monotonic() - started, worker_pid=pid,
+                ))
+                return
+            deliver(cell, CellResult(
+                index=cell.index, status=status, payload=payload,
+                error=error, elapsed=elapsed, exception=exc,
+                worker_pid=worker.pid,
+            ))
+
+        try:
+            while True:
+                # Feed: one lazily-pulled cell per free slot.  Idle
+                # parked workers are reused; the pool only grows when
+                # every live worker is busy and width allows.
+                while len(busy) < self.width:
+                    cell = next_cell()
+                    if cell is None:
+                        break
+                    worker = next(
+                        (w for w in self._workers if w not in busy), None
+                    )
+                    if worker is None:
+                        worker = self._spawn()
+                        self._workers.append(worker)
+                    try:
+                        worker.conn.send(
+                            (cell.index, cell.as_dict(), cell.seed)
+                        )
+                    except (BrokenPipeError, OSError):
+                        # Died while parked; requeue and refill.
+                        requeue.append(cell)
+                        retire(worker)
+                        continue
+                    now = time.monotonic()
+                    deadline = (
+                        None if self.cell_timeout is None
+                        else now + self.cell_timeout
+                    )
+                    busy[worker] = (cell, now, deadline)
+                    sel.register(worker.conn, selectors.EVENT_READ, worker)
+                if not busy:
+                    break  # source drained and nothing in flight
+                # Block until a result lands or the nearest deadline
+                # expires (no deadlines => block indefinitely).
+                deadlines = [d for _, _, d in busy.values() if d is not None]
+                timeout = (
+                    max(0.0, min(deadlines) - time.monotonic())
+                    if deadlines else None
+                )
+                for key, _ in sel.select(timeout):
+                    worker = key.data
+                    cell, started, _deadline = busy.pop(worker)
+                    collect(worker, cell, started)
+                if self.cell_timeout is None:
+                    continue
+                now = time.monotonic()
+                for worker in [
+                    w for w, (_, _, d) in busy.items()
+                    if d is not None and now >= d
+                ]:
+                    cell, started, _deadline = busy.pop(worker)
+                    if worker.conn.poll():
+                        # The result landed between the select and the
+                        # deadline sweep — a result in hand always
+                        # beats the deadline.
+                        collect(worker, cell, started)
+                        continue
+                    sel.unregister(worker.conn)
+                    pid = worker.pid
+                    retire(worker)
+                    deliver(cell, CellResult(
+                        index=cell.index, status="timed_out",
+                        elapsed=time.monotonic() - started, worker_pid=pid,
+                    ))
+            return completed
+        finally:
+            # Exceptional unwind only: workers still mid-cell are in an
+            # unknown state and must go; idle workers park for the next
+            # pass.  (On a clean exit ``busy`` is already empty.)
+            for worker in list(busy):
+                if worker in self._workers:
+                    self._workers.remove(worker)
+                worker.stop(self.term_grace)
+            sel.close()

@@ -24,18 +24,21 @@ randomized campaign) have two scaling levers, both provided here and in
    ``NONE`` and get the same table rows at a fraction of the memory.
 
 2. **The sweep runner** — :class:`SweepRunner` fans a grid of cells
-   (e.g. seed × n × detector class) across ``multiprocessing`` workers.
-   A *cell function* is any picklable top-level callable
+   (e.g. seed × n × detector class) across worker processes by
+   delegating to the unified
+   :class:`~repro.experiments.dispatch.CampaignDispatcher` loop (the
+   same selector-driven pool the campaign layer runs on).  A *cell
+   function* is any picklable top-level callable
    ``fn(params: dict, seed: int) -> payload`` returning a picklable
    payload; :func:`sweep_grid` builds the Cartesian product of named
    axes, :func:`cell_seed` derives a deterministic per-cell seed from a
    base seed plus the cell's coordinates (stable across processes and
    runs — no ``PYTHONHASHSEED`` dependence), and ``SweepRunner.run``
    merges payloads back in grid order.  Dispatch problems — a sandboxed
-   platform with no pool, an unpicklable cell function — degrade to
+   platform with no workers, an unpicklable cell function — degrade to
    in-process serial execution with a warning, so results never depend
    on where cells ran; an exception raised *by a cell* always
-   propagates.
+   propagates with its original type.
 
 Example::
 
@@ -64,12 +67,13 @@ checkpoints in one sqlite ``campaign.db``
   ``done``/``timed_out`` skipped).  Same ``base_seed`` + same grid ⇒
   the merged outcomes and ``report()`` bytes are identical whether the
   campaign ran in one pass or across N interrupted passes.
-* **Timeout behavior** — with ``cell_timeout`` set, cells run on a
-  deadline-aware pool of persistent worker processes (``processes``
-  wide; timeouts no longer serialise the grid); an overrunning cell's
-  worker is terminated (terminate→kill escalation) and *replaced* so
-  the pool stays at full width, while the cell is checkpointed
-  ``timed_out`` instead of killing the grid.
+* **One dispatcher** — every campaign configuration (any ``processes``
+  width including 1, with or without ``cell_timeout``) runs through
+  :class:`~repro.experiments.dispatch.CampaignDispatcher`'s persistent
+  worker pool; an overrunning cell's worker is terminated
+  (terminate→kill escalation) and *replaced* so the pool stays at full
+  width, while the cell is checkpointed ``timed_out`` instead of
+  killing the grid.
 
 ``python -m repro campaign`` launches/resumes a campaign from the
 command line; E18 (``repro.experiments.matrix.run_campaign_matrix``)
@@ -81,11 +85,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import itertools
-import multiprocessing
 import os
-import pickle
-import time
-import warnings
 from typing import (
     Any,
     Callable,
@@ -97,6 +97,8 @@ from typing import (
     Sequence,
     Tuple,
 )
+
+from .dispatch import CampaignDispatcher, CellResult
 
 
 @dataclasses.dataclass
@@ -268,51 +270,8 @@ class SweepOutcome:
         return self.cell.as_dict()
 
 
-def _run_sweep_cell(job: Tuple[Callable[..., Any], SweepCell]) -> SweepOutcome:
-    """Worker entry point (module-level so it pickles under spawn)."""
-    fn, cell = job
-    return SweepOutcome(cell=cell, payload=fn(cell.as_dict(), cell.seed))
-
-
-# ----------------------------------------------------------------------
-# Shared worker/job plumbing (used by the campaign layer's dispatch
-# paths: serial, pooled, per-cell timeout workers, and the
-# deadline-aware pool — one execution contract everywhere)
-# ----------------------------------------------------------------------
-def execute_cell_job(
-    fn: Callable[[Dict[str, Any], int], Any],
-    params: Mapping[str, Any],
-    seed: int,
-    extra: Optional[Mapping[str, Any]] = None,
-) -> Tuple[str, Any, Optional[str], float]:
-    """Run one cell function, never letting its exception escape.
-
-    Returns ``(status, payload, error, elapsed)`` with status ``done``
-    or ``failed`` — the single execution contract shared by every
-    campaign dispatch path, so a cell behaves identically whether it ran
-    serially in-process, on a pool worker, or under a deadline.
-    """
-    start = time.monotonic()
-    try:
-        payload = fn(dict(params, **(extra or {})), seed)
-    except Exception as exc:
-        return ("failed", None, repr(exc), time.monotonic() - start)
-    return ("done", payload, None, time.monotonic() - start)
-
-
-def probe_worker_processes() -> None:
-    """Raise when this platform cannot start worker processes."""
-    proc = multiprocessing.Process(target=_noop_worker)
-    proc.start()
-    proc.join()
-
-
-def _noop_worker() -> None:
-    """Target for :func:`probe_worker_processes` (module-level to pickle)."""
-
-
 class SweepRunner:
-    """Fan a grid of experiment cells across ``multiprocessing`` workers.
+    """Fan a grid of experiment cells across worker processes.
 
     Parameters
     ----------
@@ -352,41 +311,43 @@ class SweepRunner:
         ]
 
     def run(self, cells: Sequence[SweepCell]) -> List[SweepOutcome]:
-        """Run every cell and return outcomes in grid order."""
-        jobs = [(self.cell_fn, cell) for cell in cells]
+        """Run every cell and return outcomes in grid order.
+
+        Delegates to :class:`~repro.experiments.dispatch.CampaignDispatcher`
+        — the unified selector loop the campaign layer runs on — created
+        per call and torn down deterministically before returning, so a
+        sweep never leaks worker processes.  ``processes <= 1`` (or a
+        single-cell grid) maps to the dispatcher's in-process mode,
+        preserving the documented no-pickling serial contract; dispatch
+        problems (unpicklable cell function, sandboxed platform) degrade
+        the same way with a warning.  Unlike the fault-isolating
+        campaign layer, a cell that fails aborts the whole sweep: its
+        exception is re-raised with the original type.
+        """
         workers = self.processes
         if workers is None:
-            workers = min(len(jobs), os.cpu_count() or 1)
-        if workers <= 1 or len(jobs) <= 1:
-            return [_run_sweep_cell(job) for job in jobs]
-        # Only *dispatch* problems fall back to serial — an unpicklable
-        # cell function (probed up front, so a cell's own AttributeError
-        # is never mistaken for a pickling failure) or pool creation on a
-        # sandboxed platform.  Exceptions raised by cells in workers
-        # propagate from pool.map unchanged.
-        try:
-            pickle.dumps(self.cell_fn)
-        except Exception as exc:
-            warnings.warn(
-                f"SweepRunner: cell function not picklable ({exc!r}); "
-                "running cells serially in-process",
-                RuntimeWarning,
-                stacklevel=2,
+            workers = min(len(cells), os.cpu_count() or 1)
+        outcomes: Dict[int, SweepOutcome] = {}
+
+        def on_result(cell: SweepCell, result: CellResult) -> None:
+            if result.status != "done":
+                if result.exception is not None:
+                    raise result.exception
+                raise RuntimeError(
+                    f"sweep cell {cell.index} failed: {result.error}"
+                )
+            outcomes[cell.index] = SweepOutcome(
+                cell=cell, payload=result.payload
             )
-            return [_run_sweep_cell(job) for job in jobs]
-        try:
-            pool = multiprocessing.Pool(workers)
-        except (OSError, ValueError, PermissionError) as exc:
-            warnings.warn(
-                f"SweepRunner: multiprocessing pool unavailable ({exc!r}); "
-                "running cells serially in-process",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            return [_run_sweep_cell(job) for job in jobs]
-        with pool:
-            outcomes = pool.map(_run_sweep_cell, jobs)
-        return sorted(outcomes, key=lambda o: o.cell.index)
+
+        dispatcher = CampaignDispatcher(
+            self.cell_fn,
+            processes=workers,
+            in_process=(workers <= 1 or len(cells) <= 1),
+        )
+        with dispatcher:
+            dispatcher.run(cells, on_result)
+        return [outcomes[cell.index] for cell in cells]
 
     def run_grid(self, **axes: Iterable[Any]) -> List[SweepOutcome]:
         """Convenience: :meth:`cells` then :meth:`run`."""

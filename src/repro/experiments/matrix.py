@@ -221,6 +221,7 @@ def run_campaign_matrix(
     processes: Optional[int] = None,
     max_retries: int = 2,
     max_cells: Optional[int] = None,
+    in_process: bool = False,
 ) -> List[Table]:
     """E18: the E1 upper-bound matrix at scale, through the campaign layer.
 
@@ -233,9 +234,14 @@ def run_campaign_matrix(
     Re-running with the same ``db_path`` resumes: completed cells are
     read back instead of re-simulated, and an interrupted grid finishes
     from where it stopped with byte-identical merged outcomes.
-    ``processes`` and ``cell_timeout`` compose — a timed campaign runs
-    on the deadline-aware worker pool at full width — and ``failed``
+    Every configuration routes through the unified
+    :class:`~repro.experiments.dispatch.CampaignDispatcher` pool —
+    ``processes`` sets its width (``0``/``1`` = a one-worker pool) and
+    ``cell_timeout`` arms per-cell deadlines at any width; ``failed``
     cells are retried on resume only within the ``max_retries`` budget.
+    ``in_process=True`` is the serial debug escape hatch (CLI
+    ``--in-process``): no workers, timeouts unenforced, byte-identical
+    reports.
 
     One table row aggregates each (n, detector, loss_rate) combination
     over its seeds; ``db_path=None`` uses a throwaway store under the
@@ -251,6 +257,7 @@ def run_campaign_matrix(
         return _campaign_matrix_tables(
             db_path, ns, detectors, loss_rates, seeds, base_seed, values,
             cell_timeout, processes, max_retries, max_cells,
+            in_process=in_process,
             throwaway=throwaway is not None,
         )
     finally:
@@ -270,17 +277,9 @@ def _campaign_matrix_tables(
     processes: Optional[int],
     max_retries: int,
     max_cells: Optional[int],
+    in_process: bool = False,
     throwaway: bool = False,
 ) -> List[Table]:
-    runner = CampaignRunner(
-        consensus_sweep_cell,
-        db_path=db_path,
-        base_seed=base_seed,
-        processes=processes,
-        cell_timeout=cell_timeout,
-        max_retries=max_retries,
-        extra_params={"sqlite_db": db_path},
-    )
     # The seed axis is swept as ``trial``: each trial folds into the
     # *derived* per-cell seed (via cell_seed) instead of overriding it,
     # so every cell owns a distinct (cell_seed, round) key range in the
@@ -293,7 +292,19 @@ def _campaign_matrix_tables(
         values=[int(values)],
         record_policy=["summary"],
     )
-    outcomes = runner.resume(max_cells=max_cells, **axes)
+    # Context-managed so the dispatcher pool is torn down before the
+    # tables are returned — a one-shot matrix must not park workers.
+    with CampaignRunner(
+        consensus_sweep_cell,
+        db_path=db_path,
+        base_seed=base_seed,
+        processes=processes,
+        cell_timeout=cell_timeout,
+        max_retries=max_retries,
+        extra_params={"sqlite_db": db_path},
+        in_process=in_process,
+    ) as runner:
+        outcomes = runner.resume(max_cells=max_cells, **axes)
 
     table = Table(
         title="E18  Campaign matrix: (n x detector x loss_rate x seed)",

@@ -8,15 +8,21 @@ Covers the PR's durability contract end to end:
 * ``JsonlSink``/``SqliteSink`` open lazily, so a cell that raises
   before round 1 leaves nothing on disk (the ``consensus_sweep_cell``
   exception path);
-* ``CampaignRunner.resume`` is idempotent — interrupting after any
-  prefix of cells and resuming yields a report byte-identical to an
-  uninterrupted single-pass run (and to a pooled run, with or without
-  deadlines);
+* ``CampaignRunner.resume`` is idempotent — the parity suite interrupts
+  after any prefix under every dispatcher configuration ({1, 4} workers
+  x {no timeout, timeout}) and each resumed report is byte-identical to
+  the in-process serial reference;
 * per-cell timeouts checkpoint ``timed_out`` instead of killing the
-  grid — in parallel on the deadline-aware pool when ``processes`` > 1
-  (overrun workers are replaced, SIGTERM-ignoring cells cannot hang the
-  grid, and the pool beats the serial timeout path by >= 2x on sleepy
-  grids);
+  grid — enforced by the unified dispatcher pool at any width (overrun
+  workers are replaced, SIGTERM-ignoring cells cannot hang the grid, a
+  worker dying mid-cell checkpoints ``failed``, and a 4-wide pool beats
+  a one-worker pool by >= 2x on sleepy grids);
+* worker reuse is universal: a grid larger than the pool runs on at
+  most ``processes`` distinct worker pids, with or without a timeout,
+  and back-to-back resumes reuse the parked pool;
+* teardown is deterministic: every test asserts no leaked child
+  processes afterwards (an autouse fixture), and ``close()`` — not GC
+  timing — reaps the pool;
 * a killed or failed attempt leaves zero rows in ``round_summaries``;
 * ``failed`` cells are retried on resume only within the
   ``max_retries`` budget (``attempts`` is migrated into pre-existing
@@ -38,7 +44,36 @@ import pytest
 from repro.core.errors import ConfigurationError
 from repro.core.records import JsonlSink, RecordPolicy, RoundSummary, SqliteSink
 from repro.experiments.campaign import CampaignRunner, cell_tag
-from repro.experiments.harness import consensus_sweep_cell
+from repro.experiments.dispatch import CampaignDispatcher
+from repro.experiments.harness import SweepRunner, consensus_sweep_cell
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_workers():
+    """Satellite invariant: no campaign test may leak a child process.
+
+    Autouse, so it is set up before (and finalized after) the
+    ``make_runner`` teardown — by the time this assertion runs, every
+    runner the test created has been closed.
+    """
+    yield
+    children = multiprocessing.active_children()
+    assert children == [], f"leaked worker processes: {children}"
+
+
+@pytest.fixture
+def make_runner():
+    """Factory for runners that are always closed at teardown."""
+    runners = []
+
+    def make(*args, **kwargs):
+        runner = CampaignRunner(*args, **kwargs)
+        runners.append(runner)
+        return runner
+
+    yield make
+    for runner in runners:
+        runner.close()
 
 
 def _summary(r: int, bc: int = 2, crashed=(), decided=None) -> RoundSummary:
@@ -183,14 +218,28 @@ AXES = dict(
 
 
 def _serial_runner(db: str, base_seed: int = 3, **kwargs) -> CampaignRunner:
+    """The in-process serial reference every other configuration must
+    match byte-for-byte (``in_process=True`` spawns no workers)."""
     return CampaignRunner(
-        consensus_sweep_cell, db_path=db, base_seed=base_seed, processes=0,
-        **kwargs,
+        consensus_sweep_cell, db_path=db, base_seed=base_seed,
+        in_process=True, **kwargs,
     )
 
 
+@pytest.fixture(scope="module")
+def serial_reference_report(tmp_path_factory):
+    """The AXES grid's report bytes from one clean in-process pass."""
+    db = str(tmp_path_factory.mktemp("parity") / "serial.db")
+    runner = _serial_runner(db)
+    outcomes = runner.resume(**AXES)
+    assert all(o.status == "done" for o in outcomes)
+    return runner.report(**AXES)
+
+
 @pytest.mark.parametrize("prefix", [1, 3, 7])
-def test_resume_after_any_prefix_is_byte_identical(tmp_path, prefix):
+def test_resume_after_any_prefix_is_byte_identical(
+    tmp_path, prefix, serial_reference_report
+):
     interrupted = _serial_runner(str(tmp_path / "interrupted.db"))
     first = interrupted.resume(max_cells=prefix, **AXES)
     assert len(first) == prefix
@@ -198,25 +247,37 @@ def test_resume_after_any_prefix_is_byte_identical(tmp_path, prefix):
     second = interrupted.resume(**AXES)
     assert len(second) == 8
 
-    clean = _serial_runner(str(tmp_path / "clean.db"))
-    clean.resume(**AXES)
-
-    assert interrupted.report(**AXES) == clean.report(**AXES)
+    assert interrupted.report(**AXES) == serial_reference_report
     # Resuming a complete campaign is a no-op with the same bytes.
     third = interrupted.resume(**AXES)
     assert [o.status for o in third] == [o.status for o in second]
-    assert interrupted.report(**AXES) == clean.report(**AXES)
+    assert interrupted.report(**AXES) == serial_reference_report
 
 
-def test_pooled_run_matches_serial_report(tmp_path):
-    serial = _serial_runner(str(tmp_path / "serial.db"))
-    serial.resume(**AXES)
-    pooled = CampaignRunner(
-        consensus_sweep_cell, db_path=str(tmp_path / "pooled.db"),
-        base_seed=3, processes=2,
+# The dispatcher parity suite: one fixed grid, every dispatcher
+# configuration x every interruption point, all byte-identical to the
+# serial reference.  This is the refactor's acceptance bar — pool
+# width, deadlines, and interrupt/resume scheduling must be invisible
+# in the report.
+@pytest.mark.parametrize("prefix", [1, 3, 7])
+@pytest.mark.parametrize("cell_timeout", [None, 60.0],
+                         ids=["no-timeout", "timeout"])
+@pytest.mark.parametrize("processes", [1, 4])
+def test_unified_loop_parity_under_interrupt_and_resume(
+    tmp_path, make_runner, serial_reference_report,
+    processes, cell_timeout, prefix,
+):
+    runner = make_runner(
+        consensus_sweep_cell, db_path=str(tmp_path / "c.db"),
+        base_seed=3, processes=processes, cell_timeout=cell_timeout,
     )
-    pooled.resume(**AXES)
-    assert pooled.report(**AXES) == serial.report(**AXES)
+    first = runner.resume(max_cells=prefix, **AXES)
+    assert len(first) == prefix
+    assert all(o.status == "done" for o in first)
+    resumed = runner.resume(**AXES)
+    assert len(resumed) == 8
+    assert all(o.status == "done" for o in resumed)
+    assert runner.report(**AXES) == serial_reference_report
 
 
 def test_outcomes_payloads_survive_the_json_roundtrip(tmp_path):
@@ -290,8 +351,10 @@ def _flaky_cell(params, seed):
     return {"seed": seed}
 
 
-def test_cell_timeout_marks_timed_out_without_killing_the_grid(tmp_path):
-    runner = CampaignRunner(
+def test_cell_timeout_marks_timed_out_without_killing_the_grid(
+    tmp_path, make_runner
+):
+    runner = make_runner(
         _sleepy_cell, db_path=str(tmp_path / "campaign.db"),
         base_seed=0, cell_timeout=1.0,
     )
@@ -305,9 +368,11 @@ def test_cell_timeout_marks_timed_out_without_killing_the_grid(tmp_path):
     assert [o.status for o in again] == ["done", "timed_out", "done"]
 
 
-def test_failed_cells_are_checkpointed_and_retried_on_resume(tmp_path):
+def test_failed_cells_are_checkpointed_and_retried_on_resume(
+    tmp_path, make_runner
+):
     flag = str(tmp_path / "flag")
-    runner = CampaignRunner(
+    runner = make_runner(
         _flaky_cell, db_path=str(tmp_path / "campaign.db"),
         base_seed=0, processes=0, extra_params={"flag": flag},
     )
@@ -320,7 +385,7 @@ def test_failed_cells_are_checkpointed_and_retried_on_resume(tmp_path):
 
 
 # ----------------------------------------------------------------------
-# The deadline-aware pool: parallel fan-out under per-cell budgets
+# The unified dispatcher pool: fan-out, deadlines, worker lifecycle
 # ----------------------------------------------------------------------
 def _stubborn_cell(params, seed):
     """Trial 1 ignores SIGTERM and sleeps far past any deadline."""
@@ -350,29 +415,10 @@ def _streaming_cell(params, seed):
     return {"seed": seed, "trial": params["trial"]}
 
 
-def test_deadline_pool_interrupt_resume_is_byte_identical(tmp_path):
-    """Kill a pooled+timed campaign mid-grid; resume must converge to
-    the same report bytes as a clean serial single pass."""
-    pooled = CampaignRunner(
-        consensus_sweep_cell, db_path=str(tmp_path / "pooled.db"),
-        base_seed=3, processes=2, cell_timeout=60.0,
-    )
-    first = pooled.resume(max_cells=3, **AXES)
-    assert len(first) == 3
-    assert all(o.status == "done" for o in first)
-    second = pooled.resume(**AXES)
-    assert len(second) == 8
-    assert all(o.status == "done" for o in second)
-
-    clean = _serial_runner(str(tmp_path / "clean.db"))
-    clean.resume(**AXES)
-    assert pooled.report(**AXES) == clean.report(**AXES)
-
-
-def test_deadline_pool_times_out_cells_in_parallel(tmp_path):
+def test_deadline_pool_times_out_cells_in_parallel(tmp_path, make_runner):
     """Two sleepers on a 3-wide pool: both overrun concurrently, both
     workers are replaced, and the grid keeps moving."""
-    runner = CampaignRunner(
+    runner = make_runner(
         _sleepy_cell, db_path=str(tmp_path / "campaign.db"),
         base_seed=0, processes=3, cell_timeout=1.0,
     )
@@ -388,10 +434,10 @@ def test_deadline_pool_times_out_cells_in_parallel(tmp_path):
     assert [o.status for o in again] == ["done", "timed_out", "done"]
 
 
-def test_sigterm_ignoring_cell_cannot_hang_the_pool(tmp_path):
+def test_sigterm_ignoring_cell_cannot_hang_the_pool(tmp_path, make_runner):
     """terminate→kill escalation: a cell that ignores SIGTERM is still
     evicted, its worker replaced, and every other cell completes."""
-    runner = CampaignRunner(
+    runner = make_runner(
         _stubborn_cell, db_path=str(tmp_path / "campaign.db"),
         base_seed=0, processes=2, cell_timeout=1.0,
     )
@@ -407,11 +453,11 @@ def test_sigterm_ignoring_cell_cannot_hang_the_pool(tmp_path):
     assert outcomes[3].payload["trial"] == 3
 
 
-def test_deadline_pool_beats_serial_timeout_path(tmp_path):
+def test_wide_pool_beats_one_worker_pool(tmp_path, make_runner):
     """8 napping cells: 4 pooled workers must finish the grid at least
-    2x faster than one worker process per cell, serially."""
+    2x faster than the same loop at width 1."""
     trials = list(range(8))
-    serial = CampaignRunner(
+    serial = make_runner(
         _napping_cell, db_path=str(tmp_path / "serial.db"),
         base_seed=0, processes=1, cell_timeout=30.0,
     )
@@ -419,7 +465,7 @@ def test_deadline_pool_beats_serial_timeout_path(tmp_path):
     serial.resume(trial=trials)
     serial_elapsed = time.monotonic() - start
 
-    pooled = CampaignRunner(
+    pooled = make_runner(
         _napping_cell, db_path=str(tmp_path / "pooled.db"),
         base_seed=0, processes=4, cell_timeout=30.0,
     )
@@ -438,7 +484,56 @@ def _worker_pid_cell(params, seed):
     return {"worker_pid": os.getpid(), "trial": params["trial"]}
 
 
-def test_deadline_pool_workers_survive_across_resumes(tmp_path):
+def _suicidal_cell(params, seed):
+    """Trial 1 hard-kills its own worker mid-cell (no reply, no EOF
+    courtesy) — the OOM-kill / hard-crash stand-in."""
+    if params["trial"] == 1:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return {"seed": seed, "trial": params["trial"]}
+
+
+@pytest.mark.parametrize("cell_timeout", [None, 30.0],
+                         ids=["no-timeout", "timeout"])
+def test_worker_reuse_is_universal(tmp_path, make_runner, cell_timeout):
+    """Acceptance bar: a grid larger than the pool runs on at most
+    ``processes`` distinct worker pids — with and without a timeout."""
+    runner = make_runner(
+        _worker_pid_cell, db_path=str(tmp_path / "c.db"),
+        base_seed=2, processes=2, cell_timeout=cell_timeout,
+    )
+    outcomes = runner.resume(trial=list(range(8)))
+    assert all(o.status == "done" for o in outcomes)
+    pids = {o.payload["worker_pid"] for o in outcomes}
+    assert 1 <= len(pids) <= 2
+    # The runner publishes the same accounting for the benchmarks.
+    stats = runner.last_dispatch_stats
+    assert stats["cells"] == 8
+    assert stats["distinct_worker_pids"] == len(pids)
+    assert stats["in_process"] is False
+
+
+@pytest.mark.parametrize("cell_timeout", [None, 30.0],
+                         ids=["no-timeout", "timeout"])
+def test_worker_death_mid_cell_checkpoints_failed(
+    tmp_path, make_runner, cell_timeout
+):
+    """A worker dying mid-cell (SIGKILL — no reply ever comes) must
+    checkpoint the cell ``failed`` and keep the grid moving, on both
+    the timeout and no-timeout configurations (the no-timeout loop
+    blocks on the pipes indefinitely, so the EOF is its only wake-up)."""
+    runner = make_runner(
+        _suicidal_cell, db_path=str(tmp_path / "c.db"),
+        base_seed=0, processes=2, cell_timeout=cell_timeout,
+        max_retries=0,
+    )
+    outcomes = runner.resume(trial=[0, 1, 2, 3])
+    assert [o.status for o in outcomes] == [
+        "done", "failed", "done", "done"
+    ]
+    assert "worker died without a result" in outcomes[1].error
+
+
+def test_pool_workers_survive_across_resumes(tmp_path):
     """Two back-to-back resumes on one runner reuse the same pool
     workers: the second pass's cells run on the pids the first pass
     spawned, and only close() tears the pool down."""
@@ -448,10 +543,10 @@ def test_deadline_pool_workers_survive_across_resumes(tmp_path):
     )
     try:
         first = runner.resume(trial=[0, 1])
-        pool_pids_after_first = {w.proc.pid for w in runner._pool}
+        pool_pids_after_first = set(runner.dispatcher.worker_pids())
         second = runner.resume(trial=[0, 1, 2, 3])
     finally:
-        procs = [w.proc for w in runner._pool]
+        procs = [w.proc for w in runner.dispatcher._workers]
         runner.close()
     first_pids = {o.payload["worker_pid"] for o in first}
     assert len(pool_pids_after_first) == 2
@@ -468,7 +563,7 @@ def test_deadline_pool_workers_survive_across_resumes(tmp_path):
         proc.join(5.0)
         assert not proc.is_alive()
     runner.close()
-    assert runner._pool == []
+    assert runner.dispatcher.worker_pids() == []
 
 
 def test_campaign_runner_context_manager_closes_pool(tmp_path):
@@ -477,20 +572,68 @@ def test_campaign_runner_context_manager_closes_pool(tmp_path):
         base_seed=2, processes=2, cell_timeout=30.0,
     ) as runner:
         runner.resume(trial=[0, 1])
-        procs = [w.proc for w in runner._pool]
+        procs = [w.proc for w in runner.dispatcher._workers]
         assert procs  # the pool outlived the pass
     for proc in procs:
         proc.join(5.0)
         assert not proc.is_alive()
 
 
+def test_dispatcher_pulls_cell_source_lazily():
+    """The cell source is an iterator seam: the loop pulls a cell only
+    when a worker slot frees up, never more than ``width`` ahead of the
+    completions (what a distributed shard feed relies on)."""
+    cells = SweepRunner(_trivial_cell, base_seed=0).cells(
+        trial=list(range(6))
+    )
+    pulled = []
+
+    def source():
+        for cell in cells:
+            pulled.append(cell.index)
+            yield cell
+
+    completed = []
+
+    def on_result(cell, result):
+        assert result.status == "done"
+        # At delivery time the source is never more than one pull per
+        # in-flight slot ahead of the completions.
+        assert len(pulled) <= len(completed) + 2
+        completed.append(cell.index)
+
+    with CampaignDispatcher(_trivial_cell, processes=2) as dispatcher:
+        count = dispatcher.run(source(), on_result)
+    assert count == 6
+    assert sorted(completed) == list(range(6))
+    assert pulled == list(range(6))  # pulled in grid order
+
+
+@pytest.mark.parametrize("in_process", [True, False],
+                         ids=["in-process", "pooled"])
+def test_idle_hook_fires_after_every_completion(
+    tmp_path, make_runner, in_process
+):
+    """The idle hook (the live-analytics seam) runs in the parent after
+    each completed cell, in every dispatch mode."""
+    ticks = []
+    runner = make_runner(
+        _trivial_cell, db_path=str(tmp_path / "c.db"), base_seed=0,
+        processes=1, in_process=in_process,
+        idle_hook=lambda: ticks.append(len(ticks)),
+    )
+    outcomes = runner.resume(trial=[0, 1, 2])
+    assert all(o.status == "done" for o in outcomes)
+    assert len(ticks) == 3
+
+
 @pytest.mark.parametrize("processes", [0, 4])
-def test_dead_attempts_leave_zero_round_rows(tmp_path, processes):
+def test_dead_attempts_leave_zero_round_rows(tmp_path, make_runner, processes):
     """A timed-out or failed attempt contributes nothing to
     round_summaries — its partial rows are cleared at checkpoint time
     (timed_out cells never re-run, so the pre-run sweep can't help)."""
     db = str(tmp_path / "campaign.db")
-    runner = CampaignRunner(
+    runner = make_runner(
         _streaming_cell, db_path=db, base_seed=0, processes=processes,
         cell_timeout=1.5, extra_params={"db": db},
     )
@@ -521,9 +664,9 @@ def _trivial_cell(params, seed):
     return {"seed": seed, "trial": params["trial"]}
 
 
-def test_retry_budget_makes_resume_converge(tmp_path):
+def test_retry_budget_makes_resume_converge(tmp_path, make_runner):
     marker_dir = str(tmp_path / "runs")
-    runner = CampaignRunner(
+    runner = make_runner(
         _counting_crash_cell, db_path=str(tmp_path / "campaign.db"),
         base_seed=0, processes=0, max_retries=1,
         extra_params={"marker_dir": marker_dir},
@@ -545,9 +688,9 @@ def test_retry_budget_makes_resume_converge(tmp_path):
     assert report["cells"][0]["status"] == "failed"
 
 
-def test_attempts_within_budget_still_retry_to_success(tmp_path):
+def test_attempts_within_budget_still_retry_to_success(tmp_path, make_runner):
     flag = str(tmp_path / "flag")
-    runner = CampaignRunner(
+    runner = make_runner(
         _flaky_cell, db_path=str(tmp_path / "campaign.db"),
         base_seed=0, processes=0, max_retries=2,
         extra_params={"flag": flag},
@@ -580,11 +723,11 @@ CREATE TABLE round_summaries (
 """
 
 
-def test_pre_attempts_store_is_migrated_in_place(tmp_path):
+def test_pre_attempts_store_is_migrated_in_place(tmp_path, make_runner):
     """A store written by the pre-`attempts` schema is readable: the
     column is added in place and old rows backfill to attempts=1."""
     db = str(tmp_path / "old.db")
-    runner = CampaignRunner(
+    runner = make_runner(
         _trivial_cell, db_path=db, base_seed=0, processes=0,
     )
     done_cell, pending_cell = runner.cells(trial=[0, 1])
@@ -617,7 +760,7 @@ def test_pre_attempts_store_is_migrated_in_place(tmp_path):
 # ----------------------------------------------------------------------
 # Report portability across machines
 # ----------------------------------------------------------------------
-def test_report_is_independent_of_sink_dir(tmp_path):
+def test_report_is_independent_of_sink_dir(tmp_path, make_runner):
     """Two sink_dir-streaming campaigns in different directories must
     produce identical report() bytes — payloads record the sink file's
     basename, never the absolute path."""
@@ -626,7 +769,7 @@ def test_report_is_independent_of_sink_dir(tmp_path):
     reports = []
     for name in ("alpha", "beta"):
         sink_dir = str(tmp_path / f"sinks_{name}")
-        runner = CampaignRunner(
+        runner = make_runner(
             consensus_sweep_cell, db_path=str(tmp_path / f"{name}.db"),
             base_seed=3, processes=0, extra_params={"sink_dir": sink_dir},
         )
@@ -661,7 +804,7 @@ def test_cli_campaign_subcommand_launches_and_reports(tmp_path, capsys):
 
     db = str(tmp_path / "campaign.db")
     base = ["campaign", "--db", db, "--quick", "--seeds", "1",
-            "--processes", "0"]
+            "--in-process"]
     assert main(base) == 0
     out = capsys.readouterr().out
     assert "E18" in out and "campaign.db" in out
@@ -681,12 +824,12 @@ def test_cli_campaign_quick_rejects_explicit_grid_flags(tmp_path, capsys):
     assert "--quick fixes the grid" in capsys.readouterr().err
 
 
-def test_report_table_aggregates_rounds_per_cell(tmp_path):
+def test_report_table_aggregates_rounds_per_cell(tmp_path, make_runner):
     """The table view reads per-cell round counts and mean broadcast
     counts straight out of round_summaries, in grid order, with aligned
     columns."""
     db = str(tmp_path / "campaign.db")
-    runner = CampaignRunner(
+    runner = make_runner(
         consensus_sweep_cell, db_path=db, base_seed=3, processes=0,
         extra_params={"sqlite_db": db},
     )
