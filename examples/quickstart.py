@@ -88,6 +88,33 @@ def main() -> None:
     #   capture law as its per-receiver substreams, so statistics
     #   agree across backends even though the concrete loss patterns
     #   differ.
+    # Dynamic membership: every scenario above has a fixed process set,
+    # but the environment also takes a *churn adversary* — processes
+    # leave mid-execution and (re)join with fresh state, forgetting
+    # everything including their decisions (decisions that depart with
+    # a process are kept as "ghost decisions" so system-level agreement
+    # stays checkable).  Built-ins live next to the crash adversaries:
+    #
+    #   from repro.adversary.churn import SeededChurn, ScheduledChurn
+    #   from repro.experiments import ecf_environment
+    #   env = ecf_environment(n=6, loss_rate=0.2, seed=1,
+    #                         churn=SeededChurn(0.2, seed=102, deadline=6))
+    #
+    # Churned rounds automatically take the pure-python reference path
+    # (the array kernel covers the churn-free prefix), and kernel-on vs
+    # kernel-off executions stay byte-identical either way.  There is
+    # also a ring overlay for multihop scenarios — successor lists plus
+    # Chord-style finger tables:
+    #
+    #   from repro.substrate.multihop import MultihopNetwork
+    #   ring = MultihopNetwork.ring(32, successors=2, fingers=True)
+    #
+    # and an experiment family over the whole axis, E19: agreement
+    # quality vs churn rate x loss rate x detector x topology, run
+    # through the same resumable campaign layer:
+    #
+    #   python -m repro campaign --family e19 --db churn.db --quick
+    #   python -m repro campaign --family e19 --db churn.db --report --table
     print("\nnext: resumable campaigns -> python -m repro campaign --help")
 
 

@@ -12,6 +12,10 @@ Usage::
     python -m repro campaign --db campaign.db --report   # no work, just JSON
     python -m repro campaign report --table --db campaign.db
                                   # aligned per-cell round analytics
+
+    # the E19 churn family: same resumable machinery over the dynamic-
+    # membership grid (churn_rate x topology join the coordinates):
+    python -m repro campaign --family e19 --db churn.db --quick
 """
 
 from __future__ import annotations
@@ -23,25 +27,36 @@ import sys
 def _campaign_main(argv: list) -> int:
     """The ``campaign`` subcommand: launch/resume/report a campaign."""
     from .experiments.campaign import CampaignRunner
+    from .experiments.churn import churn_sweep_cell, run_churn_campaign
     from .experiments.harness import consensus_sweep_cell
     from .experiments.matrix import run_campaign_matrix
 
     parser = argparse.ArgumentParser(
         prog="python -m repro campaign",
         description=(
-            "Run the E18 consensus matrix (n x detector x loss_rate x "
-            "seed) as a resumable campaign. Every finished cell is "
-            "checkpointed into the sqlite store, so re-running the same "
-            "command resumes an interrupted grid; completed cells are "
-            "read back, not re-simulated, and the merged outcomes are "
-            "byte-identical to an uninterrupted run."
+            "Run a consensus campaign as a resumable, "
+            "sqlite-checkpointed grid. --family e18 (default) sweeps "
+            "the (n x detector x loss_rate x seed) matrix; --family "
+            "e19 sweeps the churn grid (n x detector x loss_rate x "
+            "churn_rate x topology x seed) over dynamic membership. "
+            "Every finished cell is checkpointed into the sqlite "
+            "store, so re-running the same command resumes an "
+            "interrupted grid; completed cells are read back, not "
+            "re-simulated, and the merged outcomes are byte-identical "
+            "to an uninterrupted run."
         ),
         epilog=(
             "examples: python -m repro campaign --db campaign.db --quick"
+            "  |  python -m repro campaign --family e19 --db churn.db "
+            "--quick"
             "  |  python -m repro campaign --db campaign.db --report"
             "  |  python -m repro campaign report --table --db campaign.db"
         ),
     )
+    parser.add_argument("--family", choices=("e18", "e19"), default="e18",
+                        help="which campaign family to run: e18 = the "
+                             "consensus matrix, e19 = the churn grid "
+                             "(default e18)")
     parser.add_argument("--db", default="campaign.db",
                         help="sqlite checkpoint store (default campaign.db)")
     parser.add_argument("--base-seed", type=int, default=0)
@@ -55,7 +70,16 @@ def _campaign_main(argv: list) -> int:
     parser.add_argument("--seeds", type=int, default=None,
                         help="replicate seeds per cell "
                              "(default 3, or 2 under --quick)")
-    parser.add_argument("--values", type=int, default=16, help="|V|")
+    parser.add_argument("--values", type=int, default=None,
+                        help="|V| (default 16 for e18, 8 for e19)")
+    parser.add_argument("--churn-rate", type=float, nargs="+",
+                        default=None,
+                        help="e19 only: per-round leave probabilities to "
+                             "sweep (default 0.0 0.15 0.3)")
+    parser.add_argument("--topology", nargs="+", default=None,
+                        choices=("clique", "ring"),
+                        help="e19 only: topologies to sweep "
+                             "(default clique ring)")
     parser.add_argument("--quick", action="store_true",
                         help="shrink the grid for smoke runs")
     parser.add_argument("--cell-timeout", "--timeout", type=float,
@@ -97,52 +121,88 @@ def _campaign_main(argv: list) -> int:
     if args.table and not args.report:
         parser.error("--table is a report view; use 'campaign report "
                      "--table' (or add --report)")
+    e19 = args.family == "e19"
+    if not e19:
+        explicit = [name for name, value in
+                    (("--churn-rate", args.churn_rate),
+                     ("--topology", args.topology)) if value is not None]
+        if explicit:
+            parser.error(
+                f"{', '.join(explicit)} only applies to --family e19"
+            )
 
     if args.quick:
         explicit = [name for name, value in
                     (("--n", args.n), ("--detector", args.detector),
-                     ("--loss-rate", args.loss_rate)) if value is not None]
+                     ("--loss-rate", args.loss_rate),
+                     ("--churn-rate", args.churn_rate),
+                     ("--topology", args.topology)) if value is not None]
         if explicit:
             parser.error(
                 f"--quick fixes the grid; drop {', '.join(explicit)} "
                 "or drop --quick"
             )
-        ns, detectors = [3, 4], ["0-OAC"]
-        loss_rates = [0.1, 0.3]
+        ns = [4] if e19 else [3, 4]
+        detectors = ["0-OAC"]
+        loss_rates = [0.1] if e19 else [0.1, 0.3]
+        churn_rates = [0.0, 0.25]
+        topologies = ["clique", "ring"]
         # An explicit --seeds is honored even under --quick (it only
         # shrinks/extends replicates, never the swept grid shape).
         seeds = list(range(args.seeds if args.seeds is not None else 2))
     else:
-        ns = args.n if args.n is not None else [4, 8]
+        ns = args.n if args.n is not None else ([4, 6] if e19 else [4, 8])
         detectors = (args.detector if args.detector is not None
                      else ["0-OAC", "maj-OAC"])
         loss_rates = (args.loss_rate if args.loss_rate is not None
                       else [0.1, 0.3])
-        seeds = list(range(args.seeds if args.seeds is not None else 3))
+        churn_rates = (args.churn_rate if args.churn_rate is not None
+                       else [0.0, 0.15, 0.3])
+        topologies = (args.topology if args.topology is not None
+                      else ["clique", "ring"])
+        seeds = list(range(args.seeds if args.seeds is not None
+                           else (2 if e19 else 3)))
+    values = args.values if args.values is not None else (8 if e19 else 16)
 
     if args.report:
         # Report mode never dispatches work, so the runner's pool is
         # never spawned; in_process makes that explicit and free.
         runner = CampaignRunner(
-            consensus_sweep_cell, db_path=args.db,
+            churn_sweep_cell if e19 else consensus_sweep_cell,
+            db_path=args.db,
             base_seed=args.base_seed, processes=args.processes,
             cell_timeout=args.cell_timeout, max_retries=args.max_retries,
             extra_params={"sqlite_db": args.db}, in_process=True,
         )
         render = runner.report_table if args.table else runner.report
-        print(render(
+        axes = dict(
             n=ns, detector=detectors, loss_rate=loss_rates, trial=seeds,
-            values=[args.values], record_policy=["summary"],
-        ))
+            values=[values], record_policy=["summary"],
+        )
+        if e19:
+            axes["churn_rate"] = churn_rates
+            axes["topology"] = topologies
+        print(render(**axes))
         return 0
 
-    tables = run_campaign_matrix(
-        db_path=args.db, ns=ns, detectors=detectors,
-        loss_rates=loss_rates, seeds=seeds, base_seed=args.base_seed,
-        values=args.values, cell_timeout=args.cell_timeout,
-        processes=args.processes, max_retries=args.max_retries,
-        max_cells=args.max_cells, in_process=args.in_process,
-    )
+    if e19:
+        tables = run_churn_campaign(
+            db_path=args.db, ns=ns, detectors=detectors,
+            loss_rates=loss_rates, churn_rates=churn_rates,
+            topologies=topologies, seeds=seeds,
+            base_seed=args.base_seed, values=values,
+            cell_timeout=args.cell_timeout, processes=args.processes,
+            max_retries=args.max_retries, max_cells=args.max_cells,
+            in_process=args.in_process,
+        )
+    else:
+        tables = run_campaign_matrix(
+            db_path=args.db, ns=ns, detectors=detectors,
+            loss_rates=loss_rates, seeds=seeds, base_seed=args.base_seed,
+            values=values, cell_timeout=args.cell_timeout,
+            processes=args.processes, max_retries=args.max_retries,
+            max_cells=args.max_cells, in_process=args.in_process,
+        )
     for table in tables:
         print(table.render())
     return 0

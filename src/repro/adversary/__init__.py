@@ -10,10 +10,21 @@ package owns the first two:
   eventual-collision-freedom wrapper (Property 1) and the scripted
   partition/alpha adversaries the lower bounds use;
 * :mod:`repro.adversary.crash` — crash schedules;
+* :mod:`repro.adversary.churn` — dynamic-membership schedules (leaves,
+  joins, fresh-state rejoins);
 * :mod:`repro.adversary.scenarios` — canned environment bundles used by the
   experiments and examples.
 """
 
+from .churn import (
+    BurstChurn,
+    ChurnAdversary,
+    ChurnEvent,
+    InformedMinorityChurn,
+    NoChurn,
+    ScheduledChurn,
+    SeededChurn,
+)
 from .crash import (
     CrashAdversary,
     CrashEvent,
@@ -54,4 +65,11 @@ __all__ = [
     "NoCrashes",
     "ScheduledCrashes",
     "SeededRandomCrashes",
+    "ChurnAdversary",
+    "ChurnEvent",
+    "NoChurn",
+    "ScheduledChurn",
+    "SeededChurn",
+    "BurstChurn",
+    "InformedMinorityChurn",
 ]

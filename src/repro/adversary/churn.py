@@ -1,0 +1,413 @@
+"""Churn adversaries: dynamic membership next to the crash schedules.
+
+The paper's model fixes the process set for the whole execution; the
+only membership change it admits is a permanent crash.  Dynamic
+peer-to-peer agreement (Augustine et al., "Distributed Agreement in
+Dynamic Peer-to-Peer Networks") studies the opposite regime: an
+adversary *churns* the membership — processes leave, fresh processes
+join, and departed processes may come back — while the algorithm must
+still drive the surviving majority to agreement.  This module supplies
+that adversary as a third resolver of nondeterminism beside
+:mod:`repro.adversary.loss` and :mod:`repro.adversary.crash`.
+
+The churn-event model
+---------------------
+
+Each round, *before* crashes and loss resolution, the engine asks the
+environment's churn adversary for this round's
+:class:`ChurnEvent`\\ s.  An event names a ``pid`` and a ``kind``:
+
+* ``"leave"`` — the process departs the system at the end of this
+  round.  ``after_send=True`` (the default) lets its round-``r``
+  broadcast go out first, mirroring the crash adversary's two legal
+  timings; ``after_send=False`` silences it from the start of the
+  round.  A departed process drops out of the sender and receiver sets
+  exactly like a crashed one, but — unlike a crash — departure is not
+  absorbing: the same pid may later rejoin.
+* ``"join"`` / ``"rejoin"`` — the pid (re-)enters the system at the
+  *start* of this round with **fresh state**: the engine instantiates a
+  brand-new process from the execution's process factory, so a
+  rejoining process has no memory of its pre-leave rounds (a decided
+  process that churns out and back has forgotten its decision — the
+  adversarial heart of the model).  The two kinds are synonymous to the
+  engine; schedules use ``"join"`` for pids entering for the first time
+  (``initially_absent``) and ``"rejoin"`` for returns, purely for
+  legibility.
+
+Events naming pids in the wrong state are ignored, mirroring the crash
+adversary's conventions: leaving an absent/crashed pid, or joining a
+present one, is a no-op.  Crashes are permanent even here — a crashed
+pid never rejoins.
+
+Determinism contract: an adversary must derive its events only from its
+construction parameters, its seeded RNG, and the arguments of
+:meth:`ChurnAdversary.events` — and must iterate membership in sorted
+order when drawing randomness — so the same seed and schedule replay
+byte-identical executions.  The ``departed`` mapping is the engine's
+own state and must not be mutated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Mapping,
+    Sequence,
+    Tuple,
+)
+
+from ..core.errors import ConfigurationError
+from ..core.types import ProcessId
+
+#: The legal churn-event kinds.
+CHURN_KINDS: Tuple[str, ...] = ("leave", "join", "rejoin")
+
+
+@dataclasses.dataclass(frozen=True)
+class ChurnEvent:
+    """One membership change: who, which direction, and send timing.
+
+    ``after_send`` is only meaningful for ``kind="leave"`` (does the
+    final round's broadcast go out before the departure?); joins always
+    take effect at the start of the round.
+    """
+
+    pid: ProcessId
+    kind: str = "leave"
+    after_send: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHURN_KINDS:
+            raise ConfigurationError(
+                f"churn event kind must be one of {CHURN_KINDS}, "
+                f"got {self.kind!r}"
+            )
+
+
+class ChurnAdversary:
+    """Chooses which processes leave/join the system in each round.
+
+    ``events`` receives the current live membership, the ``departed``
+    mapping (pid -> round it left; ``0`` for initially-absent pids), and
+    the set of live pids that have already decided — the last lets
+    adversarial schedules target exactly the informed processes.
+    """
+
+    def events(
+        self,
+        round_index: int,
+        live: Sequence[ProcessId],
+        departed: Mapping[ProcessId, int],
+        decided: AbstractSet[ProcessId],
+    ) -> Tuple[ChurnEvent, ...]:
+        """Churn events for ``round_index``.  Default: none."""
+        return ()
+
+    def initially_absent(
+        self, indices: Sequence[ProcessId]
+    ) -> FrozenSet[ProcessId]:
+        """Pids absent at round 1 (they may ``join`` later).  Default: none."""
+        return frozenset()
+
+    def reset(self) -> None:
+        """Forget internal state before a fresh execution (default: none)."""
+
+    @property
+    def last_churn_round(self):
+        """Upper bound on churn activity, when known (else ``None``).
+
+        Termination is only meaningful "after churn ceases" (the dynamic
+        analogue of the crash adversary's deadline); experiments anchor
+        measurements here.
+        """
+        return None
+
+
+class NoChurn(ChurnAdversary):
+    """The static-membership adversary (the paper's own model)."""
+
+    @property
+    def last_churn_round(self) -> int:
+        return 0
+
+
+class ScheduledChurn(ChurnAdversary):
+    """Churn at explicitly scripted (round, event) points.
+
+    ``schedule`` maps a round index to the events occurring in that
+    round; ``initially_absent`` names pids missing from round 1 until a
+    scheduled join.  Events naming pids in the wrong state (leaving an
+    absent pid, joining a present one) are filtered here — and ignored
+    again by the engine — mirroring :class:`ScheduledCrashes`.
+    """
+
+    def __init__(
+        self,
+        schedule: Mapping[int, Iterable[ChurnEvent]],
+        initially_absent: Iterable[ProcessId] = (),
+    ) -> None:
+        self._schedule: Dict[int, Tuple[ChurnEvent, ...]] = {}
+        for round_index, events in schedule.items():
+            if round_index < 1:
+                raise ConfigurationError("churn rounds are 1-based")
+            self._schedule[round_index] = tuple(events)
+        self._initially_absent = frozenset(initially_absent)
+
+    @classmethod
+    def at(
+        cls,
+        leaves: Mapping[int, Iterable[ProcessId]] = (),
+        joins: Mapping[int, Iterable[ProcessId]] = (),
+        after_send: bool = True,
+        initially_absent: Iterable[ProcessId] = (),
+    ) -> "ScheduledChurn":
+        """Shorthand: ``{round: [pids]}`` maps with a uniform send timing."""
+        schedule: Dict[int, list] = {}
+        for r, pids in dict(leaves).items():
+            schedule.setdefault(r, []).extend(
+                ChurnEvent(pid, "leave", after_send=after_send)
+                for pid in pids
+            )
+        for r, pids in dict(joins).items():
+            schedule.setdefault(r, []).extend(
+                ChurnEvent(pid, "rejoin") for pid in pids
+            )
+        return cls(schedule, initially_absent=initially_absent)
+
+    def events(
+        self,
+        round_index: int,
+        live: Sequence[ProcessId],
+        departed: Mapping[ProcessId, int],
+        decided: AbstractSet[ProcessId],
+    ) -> Tuple[ChurnEvent, ...]:
+        live_set = set(live)
+        out = []
+        for ev in self._schedule.get(round_index, ()):
+            if ev.kind == "leave":
+                if ev.pid in live_set:
+                    out.append(ev)
+            elif ev.pid in departed:
+                out.append(ev)
+        return tuple(out)
+
+    def initially_absent(
+        self, indices: Sequence[ProcessId]
+    ) -> FrozenSet[ProcessId]:
+        return self._initially_absent
+
+    @property
+    def last_churn_round(self) -> int:
+        return max(self._schedule, default=0)
+
+
+class SeededChurn(ChurnAdversary):
+    """Poisson-style membership churn: independent per-round coin flips.
+
+    Each round up to ``deadline``, every live process leaves with
+    probability ``leave_rate`` and every departed process rejoins with
+    probability ``join_rate`` — the discrete-time analogue of the
+    Poisson churn rates the dynamic-network literature assumes.  At
+    least ``min_live`` processes are always spared from leaving, so the
+    system never empties out and agreement stays non-vacuous.  Pids are
+    visited in sorted order so the RNG stream — and therefore the whole
+    execution — is a deterministic function of the seed.
+    """
+
+    def __init__(
+        self,
+        leave_rate: float,
+        join_rate: float = 0.5,
+        seed: int = 0,
+        deadline: int = 0,
+        min_live: int = 2,
+        after_send: bool = True,
+        initially_absent: Iterable[ProcessId] = (),
+    ) -> None:
+        for name, rate in (("leave_rate", leave_rate),
+                           ("join_rate", join_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0,1]")
+        if deadline < 0:
+            raise ConfigurationError("deadline must be >= 0")
+        if min_live < 1:
+            raise ConfigurationError("min_live must be >= 1")
+        self.leave_rate = leave_rate
+        self.join_rate = join_rate
+        self.seed = seed
+        self.deadline = deadline
+        self.min_live = min_live
+        self.after_send = after_send
+        self._initially_absent = frozenset(initially_absent)
+        self._rng = random.Random(seed)
+
+    def events(
+        self,
+        round_index: int,
+        live: Sequence[ProcessId],
+        departed: Mapping[ProcessId, int],
+        decided: AbstractSet[ProcessId],
+    ) -> Tuple[ChurnEvent, ...]:
+        if round_index > self.deadline:
+            return ()
+        rng = self._rng
+        events = []
+        leaves = 0
+        for pid in sorted(live):
+            if len(live) - leaves <= self.min_live:
+                break
+            if rng.random() < self.leave_rate:
+                events.append(
+                    ChurnEvent(pid, "leave", after_send=self.after_send)
+                )
+                leaves += 1
+        for pid in sorted(departed):
+            if rng.random() < self.join_rate:
+                kind = "join" if departed[pid] == 0 else "rejoin"
+                events.append(ChurnEvent(pid, kind))
+        return tuple(events)
+
+    def initially_absent(
+        self, indices: Sequence[ProcessId]
+    ) -> FrozenSet[ProcessId]:
+        return self._initially_absent
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    @property
+    def last_churn_round(self) -> int:
+        return self.deadline
+
+
+class BurstChurn(ChurnAdversary):
+    """Periodic burst churn: waves of departures with mass rejoins.
+
+    Every ``period`` rounds (up to ``deadline``), every currently
+    departed process rejoins and then a random ``fraction`` of the live
+    membership leaves — the flash-crowd/correlated-failure shape that a
+    smooth per-round rate never produces.  At least ``min_live``
+    processes always survive each burst.
+    """
+
+    def __init__(
+        self,
+        period: int,
+        fraction: float,
+        seed: int = 0,
+        deadline: int = 0,
+        min_live: int = 2,
+        after_send: bool = True,
+    ) -> None:
+        if period < 1:
+            raise ConfigurationError("period must be >= 1")
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError("fraction must be in [0,1]")
+        if deadline < 0:
+            raise ConfigurationError("deadline must be >= 0")
+        if min_live < 1:
+            raise ConfigurationError("min_live must be >= 1")
+        self.period = period
+        self.fraction = fraction
+        self.seed = seed
+        self.deadline = deadline
+        self.min_live = min_live
+        self.after_send = after_send
+        self._rng = random.Random(seed)
+
+    def events(
+        self,
+        round_index: int,
+        live: Sequence[ProcessId],
+        departed: Mapping[ProcessId, int],
+        decided: AbstractSet[ProcessId],
+    ) -> Tuple[ChurnEvent, ...]:
+        if round_index > self.deadline or round_index % self.period:
+            return ()
+        events = [
+            ChurnEvent(pid, "join" if departed[pid] == 0 else "rejoin")
+            for pid in sorted(departed)
+        ]
+        # The whole membership is present after the rejoins above; the
+        # burst samples its departures from that reunified population.
+        population = sorted(set(live) | set(departed))
+        quota = min(
+            int(self.fraction * len(population)),
+            max(0, len(population) - self.min_live),
+        )
+        if quota:
+            events.extend(
+                ChurnEvent(pid, "leave", after_send=self.after_send)
+                for pid in self._rng.sample(population, quota)
+            )
+        return tuple(events)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    @property
+    def last_churn_round(self) -> int:
+        return self.deadline
+
+
+class InformedMinorityChurn(ChurnAdversary):
+    """The adversarial schedule: churn out exactly the informed minority.
+
+    While the processes that have decided are still a minority of the
+    live membership, up to ``k`` of them (lowest pids first) are evicted
+    per round — and each returns ``rejoin_delay`` rounds later with
+    fresh state, its decision forgotten.  This is the worst case the
+    dynamic-agreement model warns about: progress is repeatedly erased
+    at the frontier where it was just made.  Churn ceases after
+    ``deadline`` so termination stays measurable.
+    """
+
+    def __init__(
+        self,
+        k: int = 1,
+        deadline: int = 0,
+        rejoin_delay: int = 1,
+        after_send: bool = True,
+    ) -> None:
+        if k < 1:
+            raise ConfigurationError("k must be >= 1")
+        if deadline < 0:
+            raise ConfigurationError("deadline must be >= 0")
+        if rejoin_delay < 1:
+            raise ConfigurationError("rejoin_delay must be >= 1")
+        self.k = k
+        self.deadline = deadline
+        self.rejoin_delay = rejoin_delay
+        self.after_send = after_send
+
+    def events(
+        self,
+        round_index: int,
+        live: Sequence[ProcessId],
+        departed: Mapping[ProcessId, int],
+        decided: AbstractSet[ProcessId],
+    ) -> Tuple[ChurnEvent, ...]:
+        events = [
+            ChurnEvent(pid, "rejoin")
+            for pid in sorted(departed)
+            if departed[pid] > 0
+            and round_index - departed[pid] >= self.rejoin_delay
+        ]
+        if (round_index <= self.deadline
+                and decided and 2 * len(decided) <= len(live)):
+            events.extend(
+                ChurnEvent(pid, "leave", after_send=self.after_send)
+                for pid in sorted(decided)[: self.k]
+            )
+        return tuple(events)
+
+    @property
+    def last_churn_round(self) -> int:
+        # Evictions stop at the deadline; the trailing rejoins land
+        # within one delay of it.
+        return self.deadline + self.rejoin_delay

@@ -26,6 +26,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional, Sequence, Tuple
 
+from ..adversary.churn import ChurnAdversary, NoChurn
 from ..adversary.crash import CrashAdversary, NoCrashes
 from ..adversary.loss import LossAdversary, ReliableDelivery
 from ..contention.manager import ContentionManager
@@ -57,6 +58,7 @@ class Environment:
     contention: ContentionManager
     loss: LossAdversary = dataclasses.field(default_factory=ReliableDelivery)
     crash: CrashAdversary = dataclasses.field(default_factory=NoCrashes)
+    churn: ChurnAdversary = dataclasses.field(default_factory=NoChurn)
 
     def __post_init__(self) -> None:
         if not self.indices:
@@ -90,6 +92,7 @@ class Environment:
         self.contention.reset()
         self.loss.reset()
         self.crash.reset()
+        self.churn.reset()
 
 
 def _detector_r_acc(detector: CollisionDetector) -> Optional[int]:

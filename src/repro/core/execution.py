@@ -2,6 +2,9 @@
 
 One engine round performs, in order:
 
+0. the churn adversary's membership events apply (joins re-enter the
+   live set with fresh state immediately; leaves commit at the end of
+   the round) — static-membership runs skip this entirely;
 1. the crash adversary picks this round's crash events;
 2. the contention manager issues ``active``/``passive`` advice for every
    index (crashed processes get advice too — the CM trace is defined over
@@ -45,7 +48,13 @@ all), and hands the detector the counts *array* through the
 multisets then flow to transitions as position-aligned lists instead of
 dicts.  The pure-python path remains the reference: both paths produce
 indistinguishable executions under every record policy, including
-crash and halting rounds (``tests/test_array_kernel.py``).
+crash and halting rounds (``tests/test_array_kernel.py``).  Rounds with
+membership churn always take the scalar reference path (the *fallback
+gate*): the scalar loop treats ``ArrayRoundLosses`` as a normalized
+mapping, so no adversary randomness is disturbed and kernel-on vs
+kernel-off byte-identity extends to churned executions, while churn-free
+prefixes still ride the kernel (``tests/test_churn.py`` asserts the
+gate via the engine's ``kernel_rounds`` counter).
 
 Record policies
 ---------------
@@ -67,6 +76,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
+from ..adversary.churn import NoChurn
 from ..adversary.loss import ArrayRoundLosses, ResolvedRoundLosses
 from ..core.errors import ConfigurationError, ModelViolation
 from .algorithm import Algorithm, ConsensusAlgorithm
@@ -83,6 +93,9 @@ RoundArtifact = Union[RoundRecord, RoundSummary]
 #: Optional per-round observer, called after each round with that round's
 #: artifact (a ``RoundRecord`` under FULL, a ``RoundSummary`` otherwise).
 RoundObserver = Callable[[RoundArtifact], None]
+
+#: Shared empty leave set for churn-free rounds (never mutated).
+_NO_LEAVES: frozenset = frozenset()
 
 
 class ExecutionEngine:
@@ -114,6 +127,7 @@ class ExecutionEngine:
         initial_values: Optional[Mapping[ProcessId, Value]] = None,
         record_policy: RecordPolicy = RecordPolicy.FULL,
         use_array_kernel: Optional[bool] = None,
+        process_factory: Optional[Callable[[ProcessId], Process]] = None,
     ) -> None:
         if set(processes) != set(environment.indices):
             raise ConfigurationError(
@@ -151,6 +165,36 @@ class ExecutionEngine:
         self._pid_pos: Dict[ProcessId, int] = {
             pid: k for k, pid in enumerate(environment.indices)
         }
+        # -- dynamic membership (the churn extension) -------------------
+        # ``_departed`` maps pid -> round it left (0 = absent from round
+        # 1); rejoining clears the entry and, for pids that already
+        # participated, replaces the process instance via
+        # ``process_factory`` so re-entry is with fresh state.  All of
+        # it stays empty under NoChurn, which the hot path checks once.
+        self._process_factory = process_factory
+        churn = getattr(environment, "churn", None)
+        self._has_churn = churn is not None and type(churn) is not NoChurn
+        self._departed: Dict[ProcessId, int] = {}
+        self._rejoins: Dict[ProcessId, int] = {}
+        self._departed_decisions: List[Tuple[ProcessId, Value, int]] = []
+        #: Rounds this execution resolved through the array kernel.  The
+        #: churn fallback gate is asserted against this: churn-free
+        #: prefixes ride the kernel, rounds with membership activity
+        #: take the scalar reference path.
+        self.kernel_rounds: int = 0
+        if self._has_churn:
+            absent = frozenset(churn.initially_absent(environment.indices))
+            if not absent <= self._indices_set:
+                unknown = sorted(absent - self._indices_set, key=repr)
+                raise ConfigurationError(
+                    f"initially_absent names pids outside the "
+                    f"environment's indices: {unknown}"
+                )
+            if absent:
+                for pid in absent:
+                    self._departed[pid] = 0
+                self._live = [i for i in self._live if i not in absent]
+                self._live_set = self._live_set - absent
 
     # ------------------------------------------------------------------
     @property
@@ -159,7 +203,11 @@ class ExecutionEngine:
         return self._round
 
     def live_indices(self) -> List[ProcessId]:
-        """Indices of processes that have not crashed."""
+        """Indices currently in the system: not crashed, not departed.
+
+        Under a churn adversary this is a *dynamic* set — it shrinks on
+        leaves and grows again on (re)joins, always in index order.
+        """
         return list(self._live)
 
     # ------------------------------------------------------------------
@@ -171,6 +219,26 @@ class ExecutionEngine:
         self._round += 1
         r = self._round
         full = self.record_policy is RecordPolicy.FULL
+
+        # (0) Churn: membership events apply before crashes and loss
+        # resolution.  Joins take effect at the start of the round (the
+        # pid re-enters ``live`` with fresh state before the contention
+        # manager or crash adversary look at it); leaves are collected
+        # now and committed at the end of the round, with ``after_send``
+        # deciding whether the final broadcast goes out — the same two
+        # legal timings as crashes.  Any round with membership activity
+        # (events now, or pids currently departed) is a *churn round*
+        # and takes the scalar reference path below.
+        leave_after_send: frozenset = _NO_LEAVES
+        leave_before_send: frozenset = _NO_LEAVES
+        churn_round = False
+        if self._has_churn:
+            leave_after_send, leave_before_send, churn_round = (
+                self._apply_churn(r)
+            )
+        departed = self._departed
+        if departed:
+            churn_round = True
 
         # (1) Crashes for this round.
         live_before = self._live
@@ -190,11 +258,11 @@ class ExecutionEngine:
         # the engine consults it over the live set and pads crashed
         # processes with PASSIVE (their advice is never acted on).
         cm_advice = env.contention.advise(r, live_before)
-        if full or crashed:
+        if full or crashed or departed:
             # Copy before padding: FULL mode retains the map in the round
-            # record, and crashed processes need PASSIVE filler — never
-            # mutate the manager's own dict.  The streaming no-crash path
-            # uses the manager's map as-is.
+            # record, and crashed/departed processes need PASSIVE filler
+            # — never mutate the manager's own dict.  The streaming
+            # no-crash path uses the manager's map as-is.
             cm_advice = dict(cm_advice)
         if not self._live_set <= cm_advice.keys():
             missing = self._live_set - cm_advice.keys()
@@ -202,6 +270,9 @@ class ExecutionEngine:
                 f"contention manager omitted advice for {sorted(missing)}"
             )
         for pid in crashed:
+            if pid not in cm_advice:
+                cm_advice[pid] = ContentionAdvice.PASSIVE
+        for pid in departed:
             if pid not in cm_advice:
                 cm_advice[pid] = ContentionAdvice.PASSIVE
 
@@ -213,10 +284,15 @@ class ExecutionEngine:
         messages: Dict[ProcessId, Optional[Message]] = {}
         senders: List[ProcessId] = []
         inactive = set(crash_after_send)
+        if leave_after_send:
+            # Broadcast-then-depart: the message goes out but the
+            # process never transitions this round.
+            inactive |= leave_after_send
         halted_live: List[ProcessId] = []
-        if not crashed and not crash_before_send and not crash_after_send:
-            # Crash-free round (the overwhelmingly common case): no
-            # per-index crash membership tests.
+        if (not crashed and not crash_before_send and not crash_after_send
+                and not churn_round):
+            # Crash- and churn-free round (the overwhelmingly common
+            # case): no per-index membership tests.
             for pid in indices:
                 proc = processes[pid]
                 if proc._halted:
@@ -230,7 +306,8 @@ class ExecutionEngine:
                     senders.append(pid)
         else:
             for pid in indices:
-                if pid in crashed or pid in crash_before_send:
+                if (pid in crashed or pid in crash_before_send
+                        or pid in departed or pid in leave_before_send):
                     messages[pid] = None
                     inactive.add(pid)
                     continue
@@ -238,7 +315,8 @@ class ExecutionEngine:
                 if proc._halted:
                     messages[pid] = None
                     inactive.add(pid)
-                    if pid not in crash_after_send:
+                    if (pid not in crash_after_send
+                            and pid not in leave_after_send):
                         halted_live.append(pid)
                     continue
                 m = proc.message(cm_advice[pid])
@@ -282,8 +360,14 @@ class ExecutionEngine:
         always_multiset = full or not inactive
         counts_arr = None
         received_list: Optional[list] = None
-        if np_mod is not None and lm_type is ArrayRoundLosses:
-            # Array fast path: the adversary delivered per-receiver drop
+        if (np_mod is not None and lm_type is ArrayRoundLosses
+                and not churn_round):
+            # Array fast path (never on churn rounds: membership churn
+            # takes the scalar reference path below, which already
+            # treats ``ArrayRoundLosses`` as a normalized mapping, so
+            # the adversary's RNG stream — and the execution — stay
+            # byte-identical across the gate): the adversary delivered
+            # per-receiver drop
             # counts as an int array, so receive counts are one
             # vectorised subtraction and the drop *sets* are only
             # materialised when distinct message payloads force
@@ -351,6 +435,7 @@ class ExecutionEngine:
             if full:
                 received = dict(zip(indices, received_list))
             counts = None  # type: ignore[assignment]
+            self.kernel_rounds += 1
         if counts is not None:
             self._resolve_losses_scalar(
                 lost_map, normalized, counts, received, base_counts,
@@ -428,6 +513,28 @@ class ExecutionEngine:
                 crashed[pid] = r
             self._live = [i for i in self._live if i not in newly_crashed]
             self._live_set = self._live_set - newly_crashed
+        # Commit departures (a pid both crashing and leaving this round
+        # stays crashed — crashes are absorbing even under churn).  A
+        # departing incarnation's decision is remembered as a ghost:
+        # system-level agreement must hold against it even after the pid
+        # rejoins with fresh state.
+        if leave_after_send or leave_before_send:
+            newly_departed = {
+                pid for pid in leave_after_send | leave_before_send
+                if pid not in crashed
+            }
+            if newly_departed:
+                for pid in sorted(newly_departed, key=self._pid_pos.get):
+                    departed[pid] = r
+                    proc = processes[pid]
+                    if proc._decision is not _UNDECIDED:
+                        self._departed_decisions.append(
+                            (pid, proc._decision, r)
+                        )
+                self._live = [
+                    i for i in self._live if i not in newly_departed
+                ]
+                self._live_set = self._live_set - newly_departed
 
         # (7) Channel feedback and bookkeeping.
         env.contention.observe(r, len(senders))
@@ -452,6 +559,70 @@ class ExecutionEngine:
         if self.record_policy is RecordPolicy.SUMMARY:
             self._summaries.append(summary)
         return summary
+
+    def _apply_churn(self, r: int):
+        """Apply round ``r``'s membership events.
+
+        Joins happen immediately: the pid re-enters the cached live
+        list/set (rebuilt in index order — the ``live_indices``
+        invalidation) with a fresh process instance when it had already
+        participated.  Leaves are only *collected* here; ``step``
+        commits them after transitions.  Returns
+        ``(leave_after_send, leave_before_send, any_events)``.
+        """
+        env = self.environment
+        processes = self.processes
+        departed = self._departed
+        decided = frozenset(
+            pid for pid in self._live
+            if processes[pid]._decision is not _UNDECIDED
+        )
+        events = env.churn.events(r, self._live, departed, decided)
+        if not events:
+            return _NO_LEAVES, _NO_LEAVES, False
+        leave_after: set = set()
+        leave_before: set = set()
+        joined: List[ProcessId] = []
+        for ev in events:
+            pid = ev.pid
+            if ev.kind == "leave":
+                # Ignore leaves of absent/crashed pids (a no-op, like
+                # crashing the crashed); duplicates keep the first
+                # event's send timing.
+                if (pid in self._live_set and pid not in leave_after
+                        and pid not in leave_before):
+                    (leave_after if ev.after_send else leave_before).add(pid)
+            elif ev.kind in ("join", "rejoin"):
+                left_round = departed.get(pid)
+                if left_round is None:
+                    continue  # already present (or crashed): a no-op
+                if left_round > 0:
+                    # Re-entry after participation is with *fresh state*:
+                    # a brand-new process instance, no memory of its
+                    # pre-leave rounds (decisions included).
+                    if self._process_factory is None:
+                        raise ConfigurationError(
+                            f"churn rejoin of {pid!r} requires a process "
+                            "factory (run via run_algorithm/run_consensus,"
+                            " or pass process_factory=... to "
+                            "ExecutionEngine)"
+                        )
+                    processes[pid] = self._process_factory(pid)
+                # left_round == 0: the initial instance never stepped, so
+                # it already is fresh state — no factory needed.
+                del departed[pid]
+                self._rejoins[pid] = self._rejoins.get(pid, 0) + 1
+                joined.append(pid)
+            else:  # pragma: no cover - ChurnEvent validates its kind
+                raise ConfigurationError(
+                    f"unknown churn event kind {ev.kind!r}"
+                )
+        if joined:
+            self._live_set = self._live_set | frozenset(joined)
+            self._live = [
+                i for i in env.indices if i in self._live_set
+            ]
+        return leave_after, leave_before, True
 
     def _resolve_losses_scalar(
         self,
@@ -640,10 +811,12 @@ class ExecutionEngine:
             if observer is not None:
                 observer(record)
             if until_all_decided:
-                if not self._live:
+                if not self._live and not self._departed:
                     # All crashed: nothing further can happen; the result
                     # carries the no-correct-process flag instead of a
-                    # vacuous "everyone decided".
+                    # vacuous "everyone decided".  (With departed pids
+                    # the system may repopulate on a later rejoin, so an
+                    # empty live set alone is not terminal.)
                     break
                 if self._all_correct_decided():
                     break
@@ -682,6 +855,9 @@ class ExecutionEngine:
             record_policy=self.record_policy,
             summaries=list(self._summaries),
             rounds=self._round,
+            leave_rounds=dict(self._departed),
+            rejoin_counts=dict(self._rejoins),
+            departed_decisions=tuple(self._departed_decisions),
         )
 
 
@@ -709,6 +885,7 @@ def run_algorithm(
     engine = ExecutionEngine(
         environment, processes, record_policy=record_policy,
         use_array_kernel=use_array_kernel,
+        process_factory=algorithm.spawn,
     )
     return engine.run(
         max_rounds, until_all_decided=until_all_decided, observer=observer
@@ -735,6 +912,12 @@ def run_consensus(
     engine = ExecutionEngine(
         environment, processes, initial_values, record_policy=record_policy,
         use_array_kernel=use_array_kernel,
+        # A rejoining process restarts from its initial value — fresh
+        # state per the churn model (its pre-leave progress, decisions
+        # included, is forgotten).
+        process_factory=lambda pid: algorithm.spawn(
+            pid, initial_values[pid]
+        ),
     )
     return engine.run(
         max_rounds, until_all_decided=until_all_decided, observer=observer

@@ -485,6 +485,9 @@ class ExecutionResult:
         record_policy: RecordPolicy = RecordPolicy.FULL,
         summaries: Optional[List[RoundSummary]] = None,
         rounds: Optional[int] = None,
+        leave_rounds: Optional[Mapping[ProcessId, Optional[int]]] = None,
+        rejoin_counts: Optional[Mapping[ProcessId, int]] = None,
+        departed_decisions: Sequence[Tuple[ProcessId, Value, int]] = (),
     ) -> None:
         self.indices: Tuple[ProcessId, ...] = tuple(sorted(indices))
         self._records = records
@@ -496,6 +499,27 @@ class ExecutionResult:
         self.record_policy = record_policy
         self.summaries: List[RoundSummary] = summaries or []
         self._rounds = len(records) if rounds is None else rounds
+        #: pid -> round of its still-standing departure (``0`` for
+        #: initially-absent pids that never joined); ``None``/missing for
+        #: pids present at the end.  Empty for churn-free executions.
+        self.leave_rounds: Dict[ProcessId, Optional[int]] = {
+            pid: r
+            for pid, r in dict(leave_rounds or {}).items()
+            if r is not None
+        }
+        #: pid -> number of (re)joins it performed (fresh-state entries
+        #: beyond its initial spawn).  Empty for churn-free executions.
+        self.rejoin_counts: Dict[ProcessId, int] = {
+            pid: c for pid, c in dict(rejoin_counts or {}).items() if c
+        }
+        #: Decisions by process incarnations that later churned out:
+        #: ``(pid, value, leave_round)`` in departure order.  The current
+        #: incarnation's decision lives in ``decisions``; agreement over
+        #: the whole execution must consider both (a rejoined process has
+        #: forgotten — and may contradict — its ghost decision).
+        self.departed_decisions: Tuple[Tuple[ProcessId, Value, int], ...] = (
+            tuple(departed_decisions)
+        )
 
     # ------------------------------------------------------------------
     # Basic queries
@@ -536,6 +560,37 @@ class ExecutionResult:
             i for i in self.indices if self.crash_rounds.get(i) is not None
         )
 
+    @property
+    def churned(self) -> bool:
+        """True when membership ever changed under a churn adversary."""
+        return bool(self.leave_rounds) or bool(self.rejoin_counts)
+
+    def present_indices(self) -> Tuple[ProcessId, ...]:
+        """Indices present at the end: neither crashed nor departed.
+
+        The dynamic-membership analogue of :meth:`correct_indices` —
+        agreement-quality metrics (decision rate, termination) are taken
+        over the processes actually in the system when the run stopped.
+        Identical to ``correct_indices()`` for churn-free executions.
+        """
+        return tuple(
+            i for i in self.indices
+            if self.crash_rounds.get(i) is None
+            and self.leave_rounds.get(i) is None
+        )
+
+    def all_decided_values(self) -> Tuple[Value, ...]:
+        """Every value ever decided, ghost (departed) incarnations included.
+
+        Sorted by repr for determinism.  More than one distinct value
+        here is a system-level agreement violation even if the *current*
+        decisions agree — a rejoined process may have contradicted the
+        decision its departed incarnation made.
+        """
+        values = {v for v in self.decisions.values() if v is not None}
+        values.update(v for _, v, _ in self.departed_decisions)
+        return tuple(sorted(values, key=repr))
+
     def decided_values(self) -> Dict[ProcessId, Value]:
         """Map of process index to decided value, decided processes only."""
         return {i: v for i, v in self.decisions.items() if v is not None}
@@ -564,6 +619,22 @@ class ExecutionResult:
             return None
         rounds = [self.decision_rounds[i] for i in self.correct_indices()]
         return max(rounds) if rounds else None
+
+    def last_present_decision_round(self) -> Optional[int]:
+        """Latest decision round among *present* processes, if all decided.
+
+        The churn-aware termination metric: :meth:`last_decision_round`
+        counts permanently-departed pids as correct-but-undecided (they
+        never crashed) and so reports ``None`` for any execution that
+        ends with someone churned out.  Identical to it when membership
+        is static.
+        """
+        present = self.present_indices()
+        if not present or any(
+            self.decisions.get(i) is None for i in present
+        ):
+            return None
+        return max(self.decision_rounds[i] for i in present)
 
     # ------------------------------------------------------------------
     # Traces

@@ -1,19 +1,26 @@
 """The evaluation harness: every paper artifact as a runnable experiment.
 
-``REGISTRY`` indexes experiments E1-E18 (see DESIGN.md for the mapping to
+``REGISTRY`` indexes experiments E1-E19 (see DESIGN.md for the mapping to
 the paper's figures and theorems); each benchmark in ``benchmarks/``
 regenerates one entry, and :func:`render_all` reproduces the whole
 evaluation as ASCII tables.  E17/E18 are engineering artifacts: the
 parallel sweep and the resumable sqlite-checkpointed campaign layer
-(``python -m repro campaign``).
+(``python -m repro campaign``); E19 is the churn campaign — consensus
+under dynamic membership (``python -m repro campaign --family e19``).
 """
 
 from .ablation import run_completeness_ablation
 from .applications import run_applications
 from .campaign import CampaignOutcome, CampaignRunner, cell_tag
+from .churn import churn_sweep_cell, run_churn_campaign
 from .conjecture import run_conjecture_exploration
 from .counting import run_counting_experiment
-from .dispatch import CampaignDispatcher, CellResult, execute_cell_job
+from .dispatch import (
+    CampaignDispatcher,
+    CellResult,
+    WorkerPoolError,
+    execute_cell_job,
+)
 from .eventual_completeness import run_eventual_completeness
 from .detector_quality import (
     run_clock_calibration,
@@ -57,7 +64,9 @@ __all__ = [
     "sweep_grid", "cell_seed", "consensus_sweep_cell",
     "CampaignRunner", "CampaignOutcome", "cell_tag",
     "CampaignDispatcher", "CellResult", "execute_cell_job",
+    "WorkerPoolError",
     "run_parallel_sweep", "run_campaign_matrix",
+    "churn_sweep_cell", "run_churn_campaign",
     "REGISTRY", "render_all", "run_experiment",
     "ecf_environment", "maj_oac_environment", "zero_oac_environment",
     "nocf_environment",

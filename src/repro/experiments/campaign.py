@@ -498,7 +498,9 @@ class CampaignRunner:
         the table costs one query however many rounds the store holds.
         Cells that streamed nothing (``NONE``-policy cells, failures
         before round 1, cleared dead attempts) show ``-`` in both round
-        columns.
+        columns.  A footer below a closing rule totals the cell counts
+        per status and the attempts spent, so a glance at the last line
+        answers "how did the campaign go" without scanning the rows.
         """
         cells = self.cells(**axes)
         with SqliteSink(self.db_path) as store:
@@ -533,4 +535,14 @@ class CampaignRunner:
 
         lines = [fmt(headers), fmt(tuple("-" * w for w in widths))]
         lines.extend(fmt(row) for row in rows)
+        counts = {}
+        for outcome in merged:
+            counts[outcome.status] = counts.get(outcome.status, 0) + 1
+        lines.append(fmt(tuple("-" * w for w in widths)))
+        lines.append(
+            f"{len(merged)} cells: {counts.get('done', 0)} done, "
+            f"{counts.get('failed', 0)} failed, "
+            f"{counts.get('timed_out', 0)} timed_out; "
+            f"{sum(o.attempts for o in merged)} attempts"
+        )
         return "\n".join(lines)

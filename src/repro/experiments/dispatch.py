@@ -85,6 +85,23 @@ from typing import (
 #: Grace period before a terminate escalates to kill.
 TERM_GRACE: float = 5.0
 
+#: Consecutive fresh-spawn deaths tolerated before the pool gives up.
+MAX_SPAWN_DEATHS: int = 5
+
+#: Base of the exponential backoff between doomed respawns (seconds).
+RESPAWN_BACKOFF: float = 0.05
+
+
+class WorkerPoolError(RuntimeError):
+    """Freshly-spawned workers keep dying before delivering any result.
+
+    Raised by :class:`CampaignDispatcher` after ``max_spawn_deaths``
+    consecutive spawn->death cycles with zero jobs completed: something
+    systemic (the cell function's imports, the environment, resource
+    exhaustion) kills every new worker, and respawning forever would
+    burn the machine while checkpointing nothing but failures.
+    """
+
 
 # ----------------------------------------------------------------------
 # The cell-execution contract
@@ -213,13 +230,18 @@ def _dispatch_worker(conn, fn, extra: Dict[str, Any]) -> None:
 
 
 class _Worker:
-    """Parent-side handle on one pool worker process."""
+    """Parent-side handle on one pool worker process.
 
-    __slots__ = ("proc", "conn")
+    ``jobs_done`` counts results this worker delivered — zero marks a
+    fresh spawn, the signal the respawn-storm breaker keys on.
+    """
+
+    __slots__ = ("proc", "conn", "jobs_done")
 
     def __init__(self, proc: multiprocessing.Process, conn) -> None:
         self.proc = proc
         self.conn = conn
+        self.jobs_done = 0
 
     @property
     def pid(self) -> Optional[int]:
@@ -292,6 +314,14 @@ class CampaignDispatcher:
         per-``run`` hook can override it.
     term_grace:
         Grace period before terminate escalates to kill.
+    max_spawn_deaths:
+        Consecutive fresh-spawn deaths (a worker dying before delivering
+        any result) tolerated before the loop raises
+        :class:`WorkerPoolError` instead of respawning forever.  Each
+        doomed respawn is preceded by an exponentially growing backoff
+        (base ``respawn_backoff`` seconds); any delivered result resets
+        the streak, and an *established* worker's death never counts —
+        only a spawn storm trips the breaker.
 
     The pool is *persistent across* :meth:`run` *calls*: workers spawned
     by one pass park on their pipes and are reused by the next, so a
@@ -308,6 +338,8 @@ class CampaignDispatcher:
         in_process: bool = False,
         idle_hook: Optional[Callable[[], None]] = None,
         term_grace: float = TERM_GRACE,
+        max_spawn_deaths: int = MAX_SPAWN_DEATHS,
+        respawn_backoff: float = RESPAWN_BACKOFF,
     ) -> None:
         self.cell_fn = cell_fn
         self.extra_params = dict(extra_params or {})
@@ -319,6 +351,9 @@ class CampaignDispatcher:
         self.cell_timeout = cell_timeout
         self.idle_hook = idle_hook
         self.term_grace = term_grace
+        self.max_spawn_deaths = max(1, int(max_spawn_deaths))
+        self.respawn_backoff = float(respawn_backoff)
+        self._spawn_death_streak = 0
         self._in_process = bool(in_process)
         # An explicitly in-process dispatcher needs no capability probe.
         self._probed = bool(in_process)
@@ -506,6 +541,33 @@ class CampaignDispatcher:
                 self._workers.remove(worker)
             worker.stop(self.term_grace)
 
+        def note_death(worker: _Worker, context: str) -> None:
+            """Respawn-storm breaker: count fresh-spawn deaths in a row.
+
+            A worker that never delivered a result died — if that keeps
+            happening to every fresh spawn, the cause is systemic and
+            respawning is futile: back off exponentially, then abort the
+            campaign loudly.  A death after at least one delivered
+            result is an isolated casualty and resets nothing either
+            way (the streak only tracks *fresh* spawns).
+            """
+            if worker.jobs_done > 0:
+                return
+            self._spawn_death_streak += 1
+            streak = self._spawn_death_streak
+            if streak >= self.max_spawn_deaths:
+                raise WorkerPoolError(
+                    f"{streak} freshly-spawned workers died in a row "
+                    f"(last: {context}); aborting the campaign — "
+                    "something systemic is killing new workers "
+                    "(cell-function imports, environment, or resource "
+                    "exhaustion), so respawning cannot make progress"
+                )
+            if self.respawn_backoff > 0:
+                time.sleep(
+                    min(self.respawn_backoff * (2 ** (streak - 1)), 5.0)
+                )
+
         def collect(worker: _Worker, cell, started: float) -> None:
             """Recv one result (or a death) from a readable worker."""
             sel.unregister(worker.conn)
@@ -522,7 +584,10 @@ class CampaignDispatcher:
                     error="worker died without a result",
                     elapsed=time.monotonic() - started, worker_pid=pid,
                 ))
+                note_death(worker, f"pid {pid} died mid-cell")
                 return
+            worker.jobs_done += 1
+            self._spawn_death_streak = 0
             deliver(cell, CellResult(
                 index=cell.index, status=status, payload=payload,
                 error=error, elapsed=elapsed, exception=exc,
@@ -549,9 +614,16 @@ class CampaignDispatcher:
                             (cell.index, cell.as_dict(), cell.seed)
                         )
                     except (BrokenPipeError, OSError):
-                        # Died while parked; requeue and refill.
+                        # Died while parked; requeue and refill — unless
+                        # fresh spawns keep dying, in which case the
+                        # breaker backs off and eventually aborts.
+                        pid = worker.pid
                         requeue.append(cell)
                         retire(worker)
+                        note_death(
+                            worker, f"pid {pid} died parked, before "
+                            "accepting a job"
+                        )
                         continue
                     now = time.monotonic()
                     deadline = (

@@ -11,6 +11,7 @@ from typing import List
 
 from .ablation import run_completeness_ablation
 from .applications import run_applications
+from .churn import run_churn_campaign
 from .conjecture import run_conjecture_exploration
 from .counting import run_counting_experiment
 from .eventual_completeness import run_eventual_completeness
@@ -147,6 +148,12 @@ REGISTRY.register(Experiment(
     title="Campaign matrix at scale (resumable, sqlite-checkpointed)",
     paper_ref="Figure 1 upper bounds at scale (ROADMAP campaign layer)",
     run=run_campaign_matrix,
+))
+REGISTRY.register(Experiment(
+    exp_id="E19",
+    title="Churn campaign: consensus under dynamic membership",
+    paper_ref="Section 9 conclusion (dynamic extension; Augustine et al.)",
+    run=run_churn_campaign,
 ))
 
 

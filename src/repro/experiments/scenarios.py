@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from ..adversary.churn import ChurnAdversary, NoChurn
 from ..adversary.crash import CrashAdversary, NoCrashes
 from ..adversary.loss import (
     EventualCollisionFreedom,
@@ -33,6 +34,7 @@ def ecf_environment(
     crash: Optional[CrashAdversary] = None,
     detector_policy: Optional[DetectorPolicy] = None,
     indices: Optional[Sequence[ProcessId]] = None,
+    churn: Optional[ChurnAdversary] = None,
 ) -> Environment:
     """The standard upper-bound setting: WS + ECF + chosen detector class.
 
@@ -57,6 +59,7 @@ def ecf_environment(
             IIDLoss(loss_rate, seed=seed), r_cf=cst
         ),
         crash=crash or NoCrashes(),
+        churn=churn or NoChurn(),
     )
 
 

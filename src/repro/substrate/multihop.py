@@ -78,6 +78,37 @@ class MultihopNetwork:
         return cls(graph)
 
     @classmethod
+    def ring(
+        cls, n: int, successors: int = 1, fingers: bool = True
+    ) -> "MultihopNetwork":
+        """A Chord-style ring overlay: successor lists plus finger tables.
+
+        Every node ``i`` is linked to its ``successors`` clockwise
+        neighbours ``i+1 .. i+s (mod n)`` — the successor list that keeps
+        the ring connected under churn — and, when ``fingers`` is true,
+        to the power-of-two fingers ``i + 2^k (mod n)`` for ``2^k < n``,
+        which cut the diameter from ``O(n)`` to ``O(log n)``.  The graph
+        is undirected, so predecessor links come for free.
+        """
+        if n < 2:
+            raise ConfigurationError("a ring needs at least two nodes")
+        if not 1 <= successors < n:
+            raise ConfigurationError(
+                f"successors must be in [1, n); got {successors} for n={n}"
+            )
+        graph = nx.Graph()
+        graph.add_nodes_from(range(n))
+        for i in range(n):
+            for s in range(1, successors + 1):
+                graph.add_edge(i, (i + s) % n)
+            if fingers:
+                span = 2
+                while span < n:
+                    graph.add_edge(i, (i + span) % n)
+                    span *= 2
+        return cls(graph)
+
+    @classmethod
     def random_geometric(
         cls, n: int, radius: float, seed: int = 0
     ) -> "MultihopNetwork":
@@ -248,10 +279,45 @@ class FloodResult:
     completed_round: Optional[int]
     n: int
     diameter: int
+    informed_round: Dict[ProcessId, int] = dataclasses.field(
+        default_factory=dict
+    )
 
     @property
     def completed(self) -> bool:
         return self.completed_round is not None
+
+    # -- hops / stabilization metrics ----------------------------------
+    @property
+    def max_hops(self) -> Optional[int]:
+        """Rounds until the last node was informed (``None`` if partial).
+
+        On a contention-free flood this equals the source's graph
+        eccentricity; the excess over it is pure contention delay.
+        """
+        if not self.completed:
+            return None
+        return max(self.informed_round.values())
+
+    @property
+    def mean_hops(self) -> Optional[float]:
+        """Mean informing round over all reached nodes but the source."""
+        reached = [r for r in self.informed_round.values() if r > 0]
+        if not reached:
+            return None
+        return sum(reached) / len(reached)
+
+    @property
+    def stabilization(self) -> Optional[float]:
+        """Completion round over diameter — the flood's stretch factor.
+
+        ``1.0`` means the flood advanced one hop per round, the best any
+        relay strategy can do; larger values quantify how much the
+        channel and the relay policy slowed the frontier down.
+        """
+        if not self.completed or self.diameter == 0:
+            return None
+        return self.completed_round / self.diameter
 
 
 def flood(
@@ -291,6 +357,7 @@ def flood(
         raise ConfigurationError(f"source {source} is not in the network")
     rng = random.Random(seed)
     informed: Set[ProcessId] = {source}
+    informed_round: Dict[ProcessId, int] = {source: 0}
     trajectory: List[int] = []
     completed: Optional[int] = None
     for round_index in range(1, max_rounds + 1):
@@ -320,6 +387,8 @@ def flood(
                 if decoded:
                     newly.add(pid)
         informed |= newly
+        for pid in newly:
+            informed_round[pid] = round_index
         trajectory.append(len(informed))
         if len(informed) == network.n:
             completed = round_index
@@ -329,4 +398,5 @@ def flood(
         completed_round=completed,
         n=network.n,
         diameter=network.diameter,
+        informed_round=informed_round,
     )

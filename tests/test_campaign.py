@@ -840,11 +840,14 @@ def test_report_table_aggregates_rounds_per_cell(tmp_path, make_runner):
     outcomes = runner.run(**axes)
     table = runner.report_table(**axes)
     lines = table.splitlines()
-    header, rule, *rows = lines
+    header, rule, *rows = lines[:-2]
+    footer_rule, footer = lines[-2:]
     assert header.split() == [
         "cell", "status", "attempts", "rounds", "mean_bcast"
     ]
     assert set(rule) <= {"-", " "}
+    assert set(footer_rule) <= {"-", " "}
+    assert footer == "2 cells: 2 done, 0 failed, 0 timed_out; 2 attempts"
     assert len(rows) == len(outcomes) == 2
     with SqliteSink(db) as store:
         aggregates = store.round_aggregates()
@@ -872,9 +875,102 @@ def test_cli_campaign_report_table_subcommand(tmp_path, capsys):
     out = capsys.readouterr().out
     lines = [line for line in out.splitlines() if line.strip()]
     assert lines[0].split()[:2] == ["cell", "status"]
-    assert len(lines) == 2 + 4  # header + rule + one row per quick cell
-    assert all("done" in line for line in lines[2:])
+    # header + rule + one row per quick cell + footer rule + footer
+    assert len(lines) == 2 + 4 + 2
+    assert all("done" in line for line in lines[2:-2])
+    assert lines[-1] == "4 cells: 4 done, 0 failed, 0 timed_out; 4 attempts"
     # --table without report mode is a usage error, not silence.
     with pytest.raises(SystemExit) as excinfo:
         main(["campaign", "--db", db, "--quick", "--table"])
     assert excinfo.value.code == 2
+
+
+# ----------------------------------------------------------------------
+# The respawn-storm breaker
+# ----------------------------------------------------------------------
+def _exit_cell(params, seed):
+    """Kills its worker outright — no result ever crosses the pipe."""
+    os._exit(1)
+
+
+def _exit_on_odd_trial_cell(params, seed):
+    """Completes even trials, kills the worker on odd ones."""
+    if params["trial"] % 2:
+        os._exit(1)
+    return {"trial": params["trial"]}
+
+
+def test_spawn_death_storm_aborts_loudly():
+    """K fresh spawns dying in a row abort the campaign with
+    WorkerPoolError instead of respawning forever."""
+    from repro.experiments.dispatch import WorkerPoolError
+
+    cells = list(SweepRunner(_exit_cell, base_seed=0).cells(
+        trial=list(range(10))
+    ))
+    delivered = []
+    with CampaignDispatcher(
+        _exit_cell, processes=1, max_spawn_deaths=3,
+        respawn_backoff=0.001,
+    ) as dispatcher:
+        with pytest.raises(WorkerPoolError, match="3 freshly-spawned"):
+            dispatcher.run(
+                iter(cells), lambda cell, res: delivered.append(res)
+            )
+    # Each doomed spawn still checkpointed its cell as failed before
+    # the breaker tripped.
+    assert len(delivered) == 3
+    assert all(r.status == "failed" for r in delivered)
+
+
+def test_established_worker_death_does_not_trip_breaker():
+    """A worker that already delivered results dying mid-cell is an
+    isolated casualty: the cell fails, a replacement spawns, and the
+    breaker (even at its tightest setting) never fires."""
+    cells = list(SweepRunner(
+        _exit_on_odd_trial_cell, base_seed=0
+    ).cells(trial=[0, 1, 2, 3, 4]))
+    results = {}
+    with CampaignDispatcher(
+        _exit_on_odd_trial_cell, processes=1, max_spawn_deaths=1,
+        respawn_backoff=0.0,
+    ) as dispatcher:
+        count = dispatcher.run(
+            iter(cells),
+            lambda cell, res: results.__setitem__(
+                cell.as_dict()["trial"], res.status
+            ),
+        )
+    assert count == 5
+    assert results == {
+        0: "done", 1: "failed", 2: "done", 3: "failed", 4: "done",
+    }
+
+
+def test_delivered_result_resets_spawn_death_streak():
+    """The streak counts *consecutive* fresh-spawn deaths: any
+    delivered result resets it, so sporadic deaths below the threshold
+    never accumulate into an abort."""
+    # Worker 1 dies fresh (streak 1); worker 2 completes trial 1
+    # (streak 0) then dies on trial 2 as an established worker (no
+    # count); worker 3 completes the rest.  max_spawn_deaths=2 would
+    # trip on two consecutive fresh deaths — which never happen here.
+    def statuses():
+        return [results[t] for t in sorted(results)]
+
+    cells = list(SweepRunner(
+        _exit_on_odd_trial_cell, base_seed=0
+    ).cells(trial=[1, 0, 3, 2]))
+    results = {}
+    with CampaignDispatcher(
+        _exit_on_odd_trial_cell, processes=1, max_spawn_deaths=2,
+        respawn_backoff=0.0,
+    ) as dispatcher:
+        count = dispatcher.run(
+            iter(cells),
+            lambda cell, res: results.__setitem__(
+                cell.as_dict()["trial"], res.status
+            ),
+        )
+    assert count == 4
+    assert statuses() == ["done", "failed", "done", "failed"]

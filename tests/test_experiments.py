@@ -42,7 +42,7 @@ def test_registry_contains_all_design_md_experiments():
     assert set(REGISTRY.ids()) == {
         "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8",
         "E9a", "E9b", "E9c", "E10", "E12", "E13", "E14", "E15", "E16",
-        "E17", "E18",
+        "E17", "E18", "E19",
     }
 
 

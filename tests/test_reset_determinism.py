@@ -1,0 +1,186 @@
+"""The ``reset()`` determinism audit.
+
+Every stateful component the environment carries — loss adversaries,
+crash adversaries, churn adversaries, and the dual-role substrate
+layers (:class:`MultihopLayer`, :class:`PhysicalLayer`) — promises that
+``reset()`` restores it to its just-constructed state, so reusing one
+environment object across executions (what ``run_consensus`` does via
+``environment.reset()``) replays *byte-identical* executions.  A
+component that leaks state across resets (an RNG not re-seeded, a
+cache not cleared) silently breaks campaign reproducibility; this
+suite audits every built-in against that contract, FULL-record
+fingerprints included.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.churn import (
+    BurstChurn,
+    InformedMinorityChurn,
+    NoChurn,
+    ScheduledChurn,
+    SeededChurn,
+)
+from repro.adversary.crash import (
+    NoCrashes,
+    ScheduledCrashes,
+    SeededRandomCrashes,
+)
+from repro.adversary.loss import (
+    AlphaLoss,
+    CaptureEffectLoss,
+    ComposedLoss,
+    EventualCollisionFreedom,
+    IIDLoss,
+    PartitionLoss,
+    ReliableDelivery,
+    ScriptedLoss,
+    SilenceLoss,
+)
+from repro.algorithms.alg2 import algorithm_2
+from repro.contention.services import WakeUpService
+from repro.core.environment import Environment
+from repro.core.execution import run_consensus
+from repro.core.records import RecordPolicy
+from repro.detectors.classes import ZERO_OAC
+from repro.substrate.device import PhysicalLayer
+from repro.substrate.multihop import MultihopLayer, MultihopNetwork
+
+N = 5
+VALUES = list(range(8))
+MAX_ROUNDS = 18
+
+
+def _fingerprint(result) -> tuple:
+    """Everything observable about an execution, traces included."""
+    return (
+        dict(result.decisions),
+        dict(result.decision_rounds),
+        dict(result.crash_rounds),
+        dict(result.leave_rounds),
+        dict(result.rejoin_counts),
+        tuple(result.departed_decisions),
+        result.rounds,
+        tuple(result.transmission_trace()),
+        tuple(map(dict, result.cd_trace())),
+        tuple(map(dict, result.cm_trace())),
+    )
+
+
+def _run_twice(environment: Environment) -> None:
+    """One environment object, two executions: must replay exactly."""
+    assignment = {
+        i: VALUES[(i * 3) % len(VALUES)] for i in environment.indices
+    }
+    runs = [
+        _fingerprint(run_consensus(
+            environment, algorithm_2(VALUES), assignment,
+            max_rounds=MAX_ROUNDS, until_all_decided=True,
+            record_policy=RecordPolicy.FULL,
+        ))
+        for _ in range(2)
+    ]
+    assert runs[0] == runs[1]
+
+
+def _environment(loss=None, crash=None, churn=None) -> Environment:
+    return Environment(
+        indices=tuple(range(N)),
+        detector=ZERO_OAC.make(),
+        contention=WakeUpService(stabilization_round=2),
+        loss=loss or ReliableDelivery(),
+        crash=crash or NoCrashes(),
+        churn=churn or NoChurn(),
+    )
+
+
+def _scripted(round_index, senders, receiver):
+    # Odd rounds drop everything from the receiver's left neighbour.
+    if round_index % 2:
+        return {s for s in senders if s == (receiver - 1) % N}
+    return set()
+
+
+LOSS_ADVERSARIES = {
+    "reliable": lambda: ReliableDelivery(),
+    "silence": lambda: SilenceLoss(),
+    "iid": lambda: IIDLoss(0.4, seed=7),
+    "capture": lambda: CaptureEffectLoss(
+        capture_limit=1, p_single_loss=0.2, seed=3
+    ),
+    "partition": lambda: PartitionLoss(
+        [[0, 1, 2], [3, 4]], intra=IIDLoss(0.3, seed=5), until_round=4
+    ),
+    "alpha": lambda: AlphaLoss(),
+    "scripted": lambda: ScriptedLoss(_scripted),
+    "composed": lambda: ComposedLoss([IIDLoss(0.3, seed=2), AlphaLoss()]),
+    "ecf": lambda: EventualCollisionFreedom(IIDLoss(0.5, seed=9), r_cf=3),
+}
+
+CRASH_ADVERSARIES = {
+    "none": lambda: NoCrashes(),
+    "scheduled": lambda: ScheduledCrashes.at({2: [0], 4: [3]}),
+    "seeded": lambda: SeededRandomCrashes(
+        0.3, max_crashes=2, deadline=4, seed=11
+    ),
+}
+
+CHURN_ADVERSARIES = {
+    "none": lambda: NoChurn(),
+    "scheduled": lambda: ScheduledChurn.at(
+        leaves={2: [1]}, joins={4: [1]}, initially_absent=[4]
+    ),
+    "seeded": lambda: SeededChurn(0.3, seed=13, deadline=4),
+    "burst": lambda: BurstChurn(2, 0.4, seed=17, deadline=4),
+    "informed-minority": lambda: InformedMinorityChurn(k=1, deadline=5),
+}
+
+
+@pytest.mark.parametrize(
+    "make_loss", LOSS_ADVERSARIES.values(), ids=LOSS_ADVERSARIES.keys()
+)
+def test_loss_adversary_reset_replays_identically(make_loss):
+    _run_twice(_environment(loss=make_loss()))
+
+
+@pytest.mark.parametrize(
+    "make_crash", CRASH_ADVERSARIES.values(), ids=CRASH_ADVERSARIES.keys()
+)
+def test_crash_adversary_reset_replays_identically(make_crash):
+    _run_twice(_environment(
+        loss=IIDLoss(0.3, seed=1), crash=make_crash()
+    ))
+
+
+@pytest.mark.parametrize(
+    "make_churn", CHURN_ADVERSARIES.values(), ids=CHURN_ADVERSARIES.keys()
+)
+def test_churn_adversary_reset_replays_identically(make_churn):
+    _run_twice(_environment(
+        loss=IIDLoss(0.3, seed=1), churn=make_churn()
+    ))
+
+
+def test_multihop_layer_reset_replays_identically():
+    layer = MultihopLayer(
+        MultihopNetwork.ring(N, successors=1, fingers=True),
+        inner=IIDLoss(0.3, seed=21),
+    )
+    _run_twice(Environment(
+        indices=tuple(range(N)),
+        detector=layer,
+        contention=WakeUpService(stabilization_round=2),
+        loss=layer,
+    ))
+
+
+def test_physical_layer_reset_replays_identically():
+    layer = PhysicalLayer(tuple(range(N)), seed=23)
+    _run_twice(Environment(
+        indices=tuple(range(N)),
+        detector=layer,
+        contention=WakeUpService(stabilization_round=2),
+        loss=layer,
+    ))
