@@ -7,7 +7,11 @@ Usage::
     python -m repro E3 E8           # run selected experiments
 
     # launch (or resume — same idempotent operation) a checkpointed
-    # campaign over the (n x detector x loss_rate x seed) matrix:
+    # campaign over the (n x detector x loss_rate x seed) matrix;
+    # every configuration runs through the unified CampaignDispatcher
+    # worker pool (--processes sets its width, --cell-timeout arms
+    # per-cell deadlines at any width, --in-process is the serial
+    # debug escape hatch):
     python -m repro campaign --db campaign.db --quick
     python -m repro campaign --db campaign.db --report   # no work, just JSON
     python -m repro campaign report --table --db campaign.db
@@ -16,6 +20,17 @@ Usage::
     # the E19 churn family: same resumable machinery over the dynamic-
     # membership grid (churn_rate x topology join the coordinates):
     python -m repro campaign --family e19 --db churn.db --quick
+
+    # distributed sharding: split one grid deterministically across K
+    # hosts — each host runs only its share, into its own store, with
+    # resume/retry/timeout semantics unchanged — then fold the K shard
+    # stores into one whose report is byte-identical to a single-host
+    # run (see docs/campaigns.md for the operator guide):
+    python -m repro campaign shard --index 0 --of 2 --quick   # host A
+    python -m repro campaign shard --index 1 --of 2 --quick   # host B
+    python -m repro campaign merge --out merged.db \\
+        campaign.shard0-of-2.db campaign.shard1-of-2.db
+    python -m repro campaign --db merged.db --quick --report
 """
 
 from __future__ import annotations
@@ -24,8 +39,59 @@ import argparse
 import sys
 
 
+def _campaign_merge_main(argv: list) -> int:
+    """The ``campaign merge`` subcommand: fold shard stores into one."""
+    from .core.errors import ConfigurationError
+    from .experiments.campaign import merge_campaign_stores
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro campaign merge",
+        description=(
+            "Fold K shard stores (produced by 'campaign shard "
+            "--index i --of k', one store per host) into a single "
+            "store whose report is byte-identical to an uninterrupted "
+            "single-host run of the same grid.  The merge validates "
+            "before copying a row: every input must carry shard "
+            "metadata, all inputs must share one base_seed and one "
+            "shard count, and the shard indices must cover exactly "
+            "{0..k-1} — mismatched base_seeds, overlapping shards, "
+            "and missing shards are all rejected loudly."
+        ),
+        epilog=(
+            "example: python -m repro campaign merge --out merged.db "
+            "campaign.shard0-of-2.db campaign.shard1-of-2.db"
+        ),
+    )
+    parser.add_argument("shards", nargs="+", metavar="SHARD_DB",
+                        help="the K shard stores to fold (order is "
+                             "irrelevant; each store knows its own "
+                             "shard index)")
+    parser.add_argument("--out", required=True,
+                        help="path for the merged store (must not "
+                             "already exist unless --force)")
+    parser.add_argument("--force", action="store_true",
+                        help="replace an existing --out store (its WAL "
+                             "sidecars included) instead of refusing")
+    args = parser.parse_args(argv)
+    try:
+        summary = merge_campaign_stores(
+            args.out, args.shards, force=args.force
+        )
+    except ConfigurationError as exc:
+        print(f"merge rejected: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"merged {summary['shards']} shard store(s) -> "
+        f"{summary['path']} ({summary['cells']} cells, "
+        f"base_seed {summary['base_seed']}); report it with: "
+        f"python -m repro campaign --db {summary['path']} --report "
+        "(plus the grid flags the shards ran with)"
+    )
+    return 0
+
+
 def _campaign_main(argv: list) -> int:
-    """The ``campaign`` subcommand: launch/resume/report a campaign."""
+    """The ``campaign`` subcommand: launch/resume/shard/merge/report."""
     from .experiments.campaign import CampaignRunner
     from .experiments.churn import churn_sweep_cell, run_churn_campaign
     from .experiments.harness import consensus_sweep_cell
@@ -43,7 +109,12 @@ def _campaign_main(argv: list) -> int:
             "store, so re-running the same command resumes an "
             "interrupted grid; completed cells are read back, not "
             "re-simulated, and the merged outcomes are byte-identical "
-            "to an uninterrupted run."
+            "to an uninterrupted run.  Every configuration dispatches "
+            "through one persistent worker-pool loop "
+            "(CampaignDispatcher); 'campaign shard --index i --of k' "
+            "runs one host's deterministic share of the grid and "
+            "'campaign merge' folds the shard stores back together "
+            "(see docs/campaigns.md)."
         ),
         epilog=(
             "examples: python -m repro campaign --db campaign.db --quick"
@@ -51,14 +122,29 @@ def _campaign_main(argv: list) -> int:
             "--quick"
             "  |  python -m repro campaign --db campaign.db --report"
             "  |  python -m repro campaign report --table --db campaign.db"
+            "  |  python -m repro campaign shard --index 0 --of 2 --quick"
+            "  |  python -m repro campaign merge --out merged.db "
+            "campaign.shard0-of-2.db campaign.shard1-of-2.db"
         ),
     )
     parser.add_argument("--family", choices=("e18", "e19"), default="e18",
                         help="which campaign family to run: e18 = the "
                              "consensus matrix, e19 = the churn grid "
                              "(default e18)")
-    parser.add_argument("--db", default="campaign.db",
-                        help="sqlite checkpoint store (default campaign.db)")
+    parser.add_argument("--db", default=None,
+                        help="sqlite checkpoint store (default "
+                             "campaign.db; under shard mode, "
+                             "campaign.shard<i>-of-<k>.db so two "
+                             "shards never share a store by accident)")
+    parser.add_argument("--index", type=int, default=None,
+                        dest="shard_index",
+                        help="shard mode: this host's shard index in "
+                             "[0, K) (requires --of)")
+    parser.add_argument("--of", type=int, default=None,
+                        dest="shard_of", metavar="K",
+                        help="shard mode: total number of shards the "
+                             "grid is deterministically split across "
+                             "(requires --index)")
     parser.add_argument("--base-seed", type=int, default=0)
     parser.add_argument("--n", type=int, nargs="+", default=None,
                         help="process counts to sweep (default 4 8)")
@@ -115,12 +201,31 @@ def _campaign_main(argv: list) -> int:
                              "table over the sqlite round_summaries "
                              "(per-cell status, attempts, rounds, mean "
                              "broadcast count) instead of JSON")
+    if argv and argv[0] == "merge":
+        return _campaign_merge_main(argv[1:])
+    shard_word = bool(argv) and argv[0] == "shard"
+    if shard_word:
+        argv = argv[1:]
     if argv and argv[0] == "report":
         argv = ["--report"] + argv[1:]
     args = parser.parse_args(argv)
     if args.table and not args.report:
         parser.error("--table is a report view; use 'campaign report "
                      "--table' (or add --report)")
+    if (args.shard_index is None) != (args.shard_of is None):
+        parser.error("--index and --of go together: a shard is one "
+                     "host's slice of a K-way split")
+    if shard_word and args.shard_of is None:
+        parser.error("'campaign shard' needs --index i --of k")
+    sharded = args.shard_of is not None
+    shard_index = args.shard_index if sharded else 0
+    shard_count = args.shard_of if sharded else 1
+    if shard_count < 1 or not 0 <= shard_index < shard_count:
+        parser.error(f"--index must be in [0, --of) and --of >= 1; "
+                     f"got --index {shard_index} --of {shard_count}")
+    if args.db is None:
+        args.db = (f"campaign.shard{shard_index}-of-{shard_count}.db"
+                   if sharded else "campaign.db")
     e19 = args.family == "e19"
     if not e19:
         explicit = [name for name, value in
@@ -173,6 +278,7 @@ def _campaign_main(argv: list) -> int:
             base_seed=args.base_seed, processes=args.processes,
             cell_timeout=args.cell_timeout, max_retries=args.max_retries,
             extra_params={"sqlite_db": args.db}, in_process=True,
+            shard_index=shard_index, shard_count=shard_count,
         )
         render = runner.report_table if args.table else runner.report
         axes = dict(
@@ -194,6 +300,7 @@ def _campaign_main(argv: list) -> int:
             cell_timeout=args.cell_timeout, processes=args.processes,
             max_retries=args.max_retries, max_cells=args.max_cells,
             in_process=args.in_process,
+            shard_index=shard_index, shard_count=shard_count,
         )
     else:
         tables = run_campaign_matrix(
@@ -202,6 +309,7 @@ def _campaign_main(argv: list) -> int:
             values=values, cell_timeout=args.cell_timeout,
             processes=args.processes, max_retries=args.max_retries,
             max_cells=args.max_cells, in_process=args.in_process,
+            shard_index=shard_index, shard_count=shard_count,
         )
     for table in tables:
         print(table.render())
@@ -222,6 +330,9 @@ def main(argv: list) -> int:
         print("\nRun with: python -m repro all | <experiment ids>")
         print("Campaigns: python -m repro campaign --db campaign.db "
               "[--quick|--report] (resumable; see campaign --help)")
+        print("Sharding:  python -m repro campaign shard --index i "
+              "--of k | campaign merge --out merged.db <shard dbs> "
+              "(docs/campaigns.md)")
         return 0
     if argv == ["all"]:
         print(render_all())

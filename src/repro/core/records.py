@@ -165,6 +165,10 @@ CREATE TABLE IF NOT EXISTS round_summaries (
     decided_during  TEXT NOT NULL,
     PRIMARY KEY (cell_seed, round)
 );
+CREATE TABLE IF NOT EXISTS campaign_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
 """
 
 
@@ -186,7 +190,9 @@ class SqliteSink:
     :class:`~repro.experiments.campaign.CampaignRunner` resumes from:
     a ``cells`` table with one row per finished sweep cell (its canonical
     coordinate tag, derived seed, grid index, status, and
-    canonically-serialised payload).
+    canonically-serialised payload), and a ``campaign_meta`` key/value
+    table holding store-level identity (``base_seed``, the shard spec)
+    that the campaign layer validates before mixing data from two runs.
 
     Concurrency: the database is opened in WAL journal mode with a busy
     timeout, so parallel campaign workers (each holding its *own* sink —
@@ -405,6 +411,84 @@ class SqliteSink:
             for tag, seed, index, params, status, payload, error, attempts
             in rows
         }
+
+    def cell_count(self) -> int:
+        """Number of checkpointed cells (one ``COUNT(*)``, no row fetch)."""
+        return self._connect().execute(
+            "SELECT COUNT(*) FROM cells"
+        ).fetchone()[0]
+
+    # -- store-level metadata ------------------------------------------
+    def set_meta(self, key: str, value: Any) -> None:
+        """Record one store-level fact (JSON-serialised, upsert).
+
+        The campaign layer stamps every store with its ``base_seed`` and
+        shard spec on first use and validates them on every reopen, so
+        two campaigns (or two shards of one campaign) can never silently
+        mix their rows in one database.
+        """
+        conn = self._connect()
+        conn.execute(
+            "INSERT OR REPLACE INTO campaign_meta (key, value) "
+            "VALUES (?, ?)",
+            (key, json.dumps(value, sort_keys=True)),
+        )
+        conn.commit()
+
+    def get_meta(self, key: str, default: Any = None) -> Any:
+        """Read one store-level fact back (``default`` when unset)."""
+        row = self._connect().execute(
+            "SELECT value FROM campaign_meta WHERE key = ?", (key,)
+        ).fetchone()
+        return default if row is None else json.loads(row[0])
+
+    # -- shard merging -------------------------------------------------
+    def merge_from(self, source_path: str) -> int:
+        """Fold another store's ``cells`` and ``round_summaries`` into
+        this one (the campaign shard-merge primitive).
+
+        Uses sqlite ``ATTACH`` so the copy happens entirely inside the
+        database engine, and plain ``INSERT`` (never ``OR REPLACE``) so
+        a cell tag or ``(cell_seed, round)`` key present in both stores
+        aborts loudly with :class:`~repro.core.errors.ConfigurationError`
+        instead of silently clobbering a row — overlapping shards are a
+        configuration error, not a tiebreak.  Returns the number of
+        cells copied.  Caller-level validation (matching ``base_seed``,
+        a complete non-overlapping shard set) lives in
+        :func:`repro.experiments.campaign.merge_campaign_stores`;
+        ``campaign_meta`` rows are deliberately *not* copied — the
+        merged store's identity is stamped by the caller.
+        """
+        conn = self._connect()
+        conn.execute("ATTACH DATABASE ? AS shard_src", (source_path,))
+        try:
+            try:
+                cur = conn.execute(
+                    "INSERT INTO cells (cell_tag, cell_seed, cell_index, "
+                    "params, status, payload, error, elapsed, attempts) "
+                    "SELECT cell_tag, cell_seed, cell_index, params, "
+                    "status, payload, error, elapsed, attempts "
+                    "FROM shard_src.cells"
+                )
+                copied = cur.rowcount
+                conn.execute(
+                    "INSERT INTO round_summaries (cell_seed, round, "
+                    "broadcast_count, crashed_during, decided_during) "
+                    "SELECT cell_seed, round, broadcast_count, "
+                    "crashed_during, decided_during "
+                    "FROM shard_src.round_summaries"
+                )
+            except sqlite3.IntegrityError as exc:
+                conn.rollback()
+                raise ConfigurationError(
+                    f"merging {source_path!r} into {self.path!r} hit a "
+                    f"duplicate key ({exc}) — the stores hold overlapping "
+                    "cells, so they are not disjoint shards of one grid"
+                ) from exc
+            conn.commit()
+        finally:
+            conn.execute("DETACH DATABASE shard_src")
+        return copied
 
 
 @dataclasses.dataclass(frozen=True)

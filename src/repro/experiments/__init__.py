@@ -11,7 +11,14 @@ under dynamic membership (``python -m repro campaign --family e19``).
 
 from .ablation import run_completeness_ablation
 from .applications import run_applications
-from .campaign import CampaignOutcome, CampaignRunner, cell_tag
+from .campaign import (
+    CampaignOutcome,
+    CampaignRunner,
+    cell_tag,
+    merge_campaign_stores,
+    shard_cells,
+    shard_of,
+)
 from .churn import churn_sweep_cell, run_churn_campaign
 from .conjecture import run_conjecture_exploration
 from .counting import run_counting_experiment
@@ -37,6 +44,7 @@ from .harness import (
     Table,
     cell_seed,
     consensus_sweep_cell,
+    iter_sweep_grid,
     sweep_grid,
 )
 from .lower import run_impossibility_witnesses, run_round_complexity_witnesses
@@ -61,8 +69,9 @@ from .termination import (
 __all__ = [
     "Table", "Experiment", "ExperimentRegistry",
     "SweepRunner", "SweepCell", "SweepOutcome",
-    "sweep_grid", "cell_seed", "consensus_sweep_cell",
+    "sweep_grid", "iter_sweep_grid", "cell_seed", "consensus_sweep_cell",
     "CampaignRunner", "CampaignOutcome", "cell_tag",
+    "shard_of", "shard_cells", "merge_campaign_stores",
     "CampaignDispatcher", "CellResult", "execute_cell_job",
     "WorkerPoolError",
     "run_parallel_sweep", "run_campaign_matrix",

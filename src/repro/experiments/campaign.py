@@ -50,6 +50,18 @@ durable, cell-granular checkpoints in a single ``campaign.db``
   Each run increments the cell's ``attempts`` count; once a failed
   cell has been run ``1 + max_retries`` times it is left permanently
   ``failed`` — resume converges instead of re-crashing it forever.
+* **Distributed sharding** — one grid, many hosts: :func:`shard_of`
+  deterministically assigns every cell to one of K shards (SHA-256 of
+  its canonical coordinate tag, mod K), :func:`shard_cells` streams a
+  shard lazily into the dispatcher's iterator seam, and a runner
+  constructed with ``shard_index``/``shard_count`` runs exactly its
+  shard into its own WAL store with resume/retry/timeout semantics
+  unchanged.  :func:`merge_campaign_stores` folds the K shard stores
+  into one store whose :meth:`CampaignRunner.report` bytes equal an
+  uninterrupted single-host run — and rejects mismatched base_seeds,
+  overlapping shards, and missing shards loudly.  ``python -m repro
+  campaign shard --index i --of k`` / ``campaign merge`` are the CLI
+  face; ``docs/campaigns.md`` is the operator guide.
 
 Seeds come from :func:`~repro.experiments.harness.cell_seed` over the
 grid coordinates only.  Infrastructure parameters that must not perturb
@@ -90,12 +102,15 @@ clobber each other's ``(cell_seed, round)`` rows in the shared
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
+import os
 from typing import (
     Any,
     Callable,
     Dict,
     Iterable,
+    Iterator,
     List,
     Mapping,
     Optional,
@@ -123,6 +138,55 @@ def cell_tag(cell: SweepCell) -> str:
     worker scheduling, and which pass of a resumed campaign ran it.
     """
     return "|".join(f"{k}={_canonical(v)}" for k, v in cell.params)
+
+
+def shard_of(tag: str, shard_count: int) -> int:
+    """Which of ``shard_count`` hosts owns the cell with this tag.
+
+    The stable hash of the cell's canonical coordinate tag, mod K —
+    SHA-256, like :func:`~repro.experiments.harness.cell_seed`, so the
+    assignment is identical in every process, on every platform, in
+    every run (no ``PYTHONHASHSEED`` dependence), and independent of
+    grid order.  Because the tag excludes ``extra_params`` (infra
+    paths), the same cell maps to the same shard no matter where each
+    host keeps its database.
+    """
+    if shard_count < 1:
+        raise ConfigurationError(
+            f"shard_count must be >= 1, got {shard_count}"
+        )
+    digest = hashlib.sha256(tag.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") % shard_count
+
+
+def shard_cells(
+    cells: Iterable[SweepCell], shard_index: int, shard_count: int
+) -> Iterator[SweepCell]:
+    """Lazily yield the cells of one shard, in grid order.
+
+    A generator, not a list: it plugs straight into
+    :meth:`~repro.experiments.dispatch.CampaignDispatcher.run`'s lazy
+    cell-source seam, so a shard host never materialises the other
+    hosts' share of a multi-million-cell grid.  The K shards partition
+    the grid — every cell appears in exactly one shard — which is what
+    makes the merged store's :meth:`CampaignRunner.report` bytes equal
+    a single-host run.
+    """
+    _validate_shard(shard_index, shard_count)
+    for cell in cells:
+        if shard_of(cell_tag(cell), shard_count) == shard_index:
+            yield cell
+
+
+def _validate_shard(shard_index: int, shard_count: int) -> None:
+    if shard_count < 1:
+        raise ConfigurationError(
+            f"shard_count must be >= 1, got {shard_count}"
+        )
+    if not 0 <= shard_index < shard_count:
+        raise ConfigurationError(
+            f"shard_index must be in [0, {shard_count}), got {shard_index}"
+        )
 
 
 def _payload_text(payload: Any) -> str:
@@ -204,6 +268,18 @@ class CampaignRunner:
         Optional callback invoked after every completed cell (passed
         through to the dispatcher) — the seam for serving live queries
         while a campaign runs.
+    shard_index, shard_count:
+        Distributed sharding: this runner owns shard ``shard_index`` of
+        a grid split deterministically across ``shard_count`` hosts
+        (:func:`shard_of` over each cell's canonical coordinate tag).
+        Every grid operation — resume, outcomes, report — is scoped to
+        the shard's cells, fed lazily to the dispatcher by
+        :func:`shard_cells`.  The default ``0``/``1`` *is* the
+        single-host campaign (one shard owning everything), so sharding
+        adds no fourth code path.  The store is stamped with the shard
+        spec (and ``base_seed``) on first use and every reopen
+        validates it, so a shard database can never silently absorb
+        another shard's — or an unsharded run's — cells.
     """
 
     def __init__(
@@ -217,6 +293,8 @@ class CampaignRunner:
         extra_params: Optional[Mapping[str, Any]] = None,
         in_process: bool = False,
         idle_hook: Optional[Callable[[], None]] = None,
+        shard_index: int = 0,
+        shard_count: int = 1,
     ) -> None:
         self.cell_fn = cell_fn
         self.db_path = str(db_path)
@@ -228,6 +306,9 @@ class CampaignRunner:
                 f"max_retries must be >= 0, got {max_retries}"
             )
         self.max_retries = int(max_retries)
+        _validate_shard(shard_index, shard_count)
+        self.shard_index = int(shard_index)
+        self.shard_count = int(shard_count)
         self.extra_params = dict(extra_params or {})
         self._sweep = SweepRunner(cell_fn, processes=processes,
                                   base_seed=base_seed)
@@ -280,8 +361,18 @@ class CampaignRunner:
 
     # ------------------------------------------------------------------
     def cells(self, **axes: Iterable[Any]) -> List[SweepCell]:
-        """The seeded grid (delegates to :meth:`SweepRunner.cells`)."""
-        return self._sweep.cells(**axes)
+        """The seeded grid, scoped to this runner's shard (grid order).
+
+        Shard 0/1 — the default — is the whole grid.  Cell indices and
+        seeds always come from *full-grid* enumeration (the shard filter
+        runs over the lazily streamed grid afterwards), so a cell's
+        identity — tag, seed, index — is identical on every host
+        regardless of how many shards the grid is split into.
+        """
+        stream = self._sweep.iter_cells(**axes)
+        if self.shard_count == 1:
+            return list(stream)
+        return list(shard_cells(stream, self.shard_index, self.shard_count))
 
     # ------------------------------------------------------------------
     def run(
@@ -306,6 +397,7 @@ class CampaignRunner:
         """
         cells = self.cells(**axes)
         with SqliteSink(self.db_path) as store:
+            self._check_store_identity(store)
             existing = store.get_cells()
             pending = []
             prior_attempts: Dict[int, int] = {}
@@ -335,6 +427,43 @@ class CampaignRunner:
             if pending:
                 self._run_pending(store, pending, prior_attempts)
             return self._merge(store, cells)
+
+    # ------------------------------------------------------------------
+    def _check_store_identity(self, store: SqliteSink) -> None:
+        """Stamp (first use) or validate (reopen) the store's identity.
+
+        One database is one (campaign, shard): its ``base_seed`` and
+        shard spec are written into ``campaign_meta`` the first time a
+        runner touches it and must match exactly on every later open —
+        a shard store can never silently absorb another shard's cells,
+        and an unsharded resume can never backfill a shard store into a
+        corrupt "almost full" grid.  Stores that predate the metadata
+        (or were produced by :func:`merge_campaign_stores`, which stamps
+        shard 0/1) are stamped with the current spec in place.
+        """
+        stored_seed = store.get_meta("base_seed")
+        if stored_seed is not None and stored_seed != self.base_seed:
+            raise ConfigurationError(
+                f"campaign db {self.db_path!r} was created with "
+                f"base_seed {stored_seed}, but this runner uses a "
+                f"different base_seed {self.base_seed} — one store is "
+                "one campaign"
+            )
+        mine = {"count": self.shard_count, "index": self.shard_index}
+        stored_shard = store.get_meta("shard")
+        if stored_shard is not None and stored_shard != mine:
+            raise ConfigurationError(
+                f"campaign db {self.db_path!r} belongs to shard "
+                f"{stored_shard['index']}/{stored_shard['count']}, but "
+                f"this runner is shard {self.shard_index}/"
+                f"{self.shard_count} — one store is one shard; use "
+                "merge_campaign_stores to combine shards instead of "
+                "resuming across specs"
+            )
+        if stored_seed is None:
+            store.set_meta("base_seed", self.base_seed)
+        if stored_shard is None:
+            store.set_meta("shard", mine)
 
     # ------------------------------------------------------------------
     def _checkpoint(
@@ -382,11 +511,6 @@ class CampaignRunner:
         connection" invariant is enforced — checkpointing between
         completions reopens the store lazily.
         """
-        # A pending cell may have streamed rounds in a killed or failed
-        # earlier attempt; clear them so stale rows can never linger
-        # past the new attempt's final round.
-        for cell in pending:
-            store.clear_rounds(cell.seed)
         attempts = {
             cell.index: prior_attempts.get(cell.index, 0) + 1
             for cell in pending
@@ -401,7 +525,21 @@ class CampaignRunner:
             if result.worker_pid is not None:
                 pids.add(result.worker_pid)
 
-        self._dispatcher.run(pending, checkpoint,
+        def feed() -> Iterator[SweepCell]:
+            # The dispatcher pulls this generator lazily, one cell per
+            # freed worker slot (the same seam the shard filter rides).
+            # A pending cell may have streamed rounds in a killed or
+            # failed earlier attempt; clear them immediately before the
+            # cell is handed out — before any worker can stream the new
+            # attempt — so stale rows never linger past its final round.
+            # (The dispatcher disconnects the store via pre_fork before
+            # every spawn, after this pull, so the lazily reopened
+            # connection never crosses a fork.)
+            for cell in pending:
+                store.clear_rounds(cell.seed)
+                yield cell
+
+        self._dispatcher.run(feed(), checkpoint,
                              pre_fork=store.disconnect)
         self.last_dispatch_stats = {
             "cells": len(pending),
@@ -450,6 +588,7 @@ class CampaignRunner:
     def outcomes(self, **axes: Iterable[Any]) -> List[CampaignOutcome]:
         """Merged outcomes currently in the store, without running anything."""
         with SqliteSink(self.db_path) as store:
+            self._check_store_identity(store)
             return self._merge(store, self.cells(**axes))
 
     def report(self, **axes: Iterable[Any]) -> str:
@@ -504,6 +643,7 @@ class CampaignRunner:
         """
         cells = self.cells(**axes)
         with SqliteSink(self.db_path) as store:
+            self._check_store_identity(store)
             merged = self._merge(store, cells)
             aggregates = store.round_aggregates()
         headers = ("cell", "status", "attempts", "rounds", "mean_bcast")
@@ -546,3 +686,136 @@ class CampaignRunner:
             f"{sum(o.attempts for o in merged)} attempts"
         )
         return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Shard merging: K shard stores -> one single-host-equivalent store
+# ----------------------------------------------------------------------
+def merge_campaign_stores(
+    out_path: str,
+    shard_paths: Sequence[str],
+    force: bool = False,
+) -> Dict[str, Any]:
+    """Fold K shard stores into one store equal to a single-host run.
+
+    Validates before copying a single row, and loudly — every rejection
+    is a :class:`~repro.core.errors.ConfigurationError` naming exactly
+    what disagrees:
+
+    * every input must be a stamped campaign store (``base_seed`` plus
+      shard spec in ``campaign_meta``);
+    * all shards must share one ``base_seed`` (different seeds are
+      different campaigns whose cells merely look alike);
+    * all shards must share one shard count K, carry indices inside
+      ``[0, K)``, and cover **exactly** the set ``{0, …, K-1}`` — a
+      duplicated index is an overlapping shard, an absent one a missing
+      shard, and either would make the merged report silently diverge
+      from the single-host truth;
+    * row-level overlap (the same cell tag or ``(cell_seed, round)``
+      key in two stores) aborts inside sqlite via
+      :meth:`~repro.core.records.SqliteSink.merge_from`'s plain-INSERT
+      discipline, as a belt-and-braces guard under the metadata checks.
+
+    The merged store is stamped as shard ``0/1`` (plus a
+    ``merged_from`` provenance key): it *is* a single-host store from
+    that point on — :meth:`CampaignRunner.report` over it is
+    byte-identical to an uninterrupted single-host run of the same
+    grid, because every payload was canonically serialised on its way
+    into its shard and cell identity (tag, seed, index) is derived from
+    full-grid enumeration on every host.
+
+    ``out_path`` must not already exist unless ``force`` is set (the
+    stale target plus its WAL sidecars are then removed first).
+    Returns a summary dict (``base_seed``, ``shards``, ``cells``,
+    ``path``).
+    """
+    if not shard_paths:
+        raise ConfigurationError(
+            "merge needs at least one shard store to fold"
+        )
+    if os.path.exists(out_path):
+        if not force:
+            raise ConfigurationError(
+                f"merge target {out_path!r} already exists — merging "
+                "into a live store would mix campaigns; pass "
+                "force=True (CLI --force) to replace it"
+            )
+        for suffix in ("", "-wal", "-shm"):
+            stale = out_path + suffix
+            if os.path.exists(stale):
+                os.remove(stale)
+
+    infos: List[Dict[str, Any]] = []
+    for path in shard_paths:
+        if not os.path.exists(path):
+            raise ConfigurationError(
+                f"shard store {path!r} does not exist"
+            )
+        # Opening through SqliteSink also migrates legacy schemas in
+        # place, so merge_from's column-for-column copy always sees the
+        # current shape.
+        with SqliteSink(path) as store:
+            base_seed = store.get_meta("base_seed")
+            shard = store.get_meta("shard")
+            cells = store.cell_count()
+        if base_seed is None or shard is None:
+            raise ConfigurationError(
+                f"{path!r} carries no campaign identity metadata — it "
+                "is not a (post-sharding) campaign store; resume it "
+                "once so it is stamped, then merge"
+            )
+        infos.append({
+            "path": path, "base_seed": base_seed,
+            "index": shard["index"], "count": shard["count"],
+            "cells": cells,
+        })
+
+    base_seeds = sorted({info["base_seed"] for info in infos})
+    if len(base_seeds) > 1:
+        raise ConfigurationError(
+            f"shard stores disagree on base_seed ({base_seeds}) — they "
+            "are shards of different campaigns and must not be merged"
+        )
+    counts = sorted({info["count"] for info in infos})
+    if len(counts) > 1:
+        raise ConfigurationError(
+            f"shard stores disagree on the shard count ({counts}) — "
+            "a K-way merge needs K stores from one K-way split"
+        )
+    k = counts[0]
+    owners: Dict[int, List[str]] = {}
+    for info in infos:
+        owners.setdefault(info["index"], []).append(info["path"])
+    bad = sorted(i for i in owners if not 0 <= i < k)
+    if bad:
+        raise ConfigurationError(
+            f"shard indices {bad} are outside [0, {k}) — the stores' "
+            "metadata is inconsistent with their shard count"
+        )
+    overlapping = {i: paths for i, paths in owners.items()
+                   if len(paths) > 1}
+    if overlapping:
+        raise ConfigurationError(
+            f"overlapping shards: {overlapping} — the same shard index "
+            "appears in more than one store, so their cells would "
+            "collide (or worse, silently double)"
+        )
+    missing = sorted(set(range(k)) - set(owners))
+    if missing:
+        raise ConfigurationError(
+            f"missing shard(s) {missing} of {k} — a merge over an "
+            "incomplete shard set would report a partial grid as if it "
+            "were the whole campaign"
+        )
+
+    total = 0
+    with SqliteSink(out_path) as out:
+        for info in sorted(infos, key=lambda i: i["index"]):
+            total += out.merge_from(info["path"])
+        out.set_meta("base_seed", base_seeds[0])
+        out.set_meta("shard", {"count": 1, "index": 0})
+        out.set_meta("merged_from", k)
+    return {
+        "base_seed": base_seeds[0], "shards": k, "cells": total,
+        "path": out_path,
+    }

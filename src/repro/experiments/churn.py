@@ -187,6 +187,8 @@ def run_churn_campaign(
     max_retries: int = 2,
     max_cells: Optional[int] = None,
     in_process: bool = False,
+    shard_index: int = 0,
+    shard_count: int = 1,
 ) -> List[Table]:
     """E19: agreement quality vs churn rate, at campaign scale.
 
@@ -198,6 +200,12 @@ def run_churn_campaign(
     with the same ``db_path`` reads completed cells back instead of
     re-simulating, and interrupted grids finish with byte-identical
     merged outcomes.  ``db_path=None`` uses a throwaway store.
+
+    ``shard_index``/``shard_count`` split the churn grid across hosts
+    exactly like E18 (CLI ``campaign shard --family e19 --index i
+    --of k``): each host runs its deterministic share into its own
+    store, and ``merge_campaign_stores`` folds them back into a store
+    reporting byte-identically to an unsharded run.
 
     One table row aggregates each (n, detector, loss_rate, churn_rate,
     topology) combination over its seed replicates.
@@ -211,6 +219,7 @@ def run_churn_campaign(
             db_path, ns, detectors, loss_rates, churn_rates, topologies,
             seeds, base_seed, values, cell_timeout, processes,
             max_retries, max_cells, in_process=in_process,
+            shard_index=shard_index, shard_count=shard_count,
             throwaway=throwaway is not None,
         )
     finally:
@@ -233,6 +242,8 @@ def _churn_campaign_tables(
     max_retries: int,
     max_cells: Optional[int],
     in_process: bool = False,
+    shard_index: int = 0,
+    shard_count: int = 1,
     throwaway: bool = False,
 ) -> List[Table]:
     axes = dict(
@@ -254,13 +265,17 @@ def _churn_campaign_tables(
         max_retries=max_retries,
         extra_params={"sqlite_db": db_path},
         in_process=in_process,
+        shard_index=shard_index,
+        shard_count=shard_count,
     ) as runner:
         outcomes = runner.resume(max_cells=max_cells, **axes)
 
+    sharded = shard_count > 1
     table = Table(
         title=(
             "E19  Churn campaign: agreement quality vs "
             "(churn_rate x loss_rate x detector x topology)"
+            + (f" [shard {shard_index}/{shard_count}]" if sharded else "")
         ),
         columns=[
             "n", "detector", "loss_rate", "churn_rate", "topology",
@@ -272,6 +287,9 @@ def _churn_campaign_tables(
             "keep one)" if throwaway else
             f"checkpointed in {db_path}; rerun with the same db to "
             "resume — completed cells are read back, not re-simulated"
+            + (f"; shard {shard_index}/{shard_count} — merge the shard "
+               "stores with 'python -m repro campaign merge' for the "
+               "full grid" if sharded else "")
         ),
     )
     groups: Dict[tuple, list] = {}

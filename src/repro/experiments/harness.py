@@ -239,11 +239,23 @@ def cell_seed(base_seed: int, **params: Any) -> int:
     return int.from_bytes(digest[:4], "big")
 
 
-def sweep_grid(**axes: Iterable[Any]) -> List[Dict[str, Any]]:
-    """Cartesian product of named axes, row-major in keyword order."""
+def iter_sweep_grid(**axes: Iterable[Any]):
+    """Lazily stream the Cartesian product of named axes (row-major).
+
+    The generator form of :func:`sweep_grid`: one coordinate dict at a
+    time, never the whole grid — the substrate under the campaign
+    layer's shard feed, where a host filters a multi-million-cell grid
+    down to its own share without materialising the rest.
+    """
     names = list(axes)
     values = [list(axes[name]) for name in names]
-    return [dict(zip(names, combo)) for combo in itertools.product(*values)]
+    for combo in itertools.product(*values):
+        yield dict(zip(names, combo))
+
+
+def sweep_grid(**axes: Iterable[Any]) -> List[Dict[str, Any]]:
+    """Cartesian product of named axes, row-major in keyword order."""
+    return list(iter_sweep_grid(**axes))
 
 
 @dataclasses.dataclass(frozen=True)
@@ -299,16 +311,23 @@ class SweepRunner:
         self.base_seed = base_seed
 
     # ------------------------------------------------------------------
-    def cells(self, **axes: Iterable[Any]) -> List[SweepCell]:
-        """Materialise the grid as seeded :class:`SweepCell` objects."""
-        return [
-            SweepCell(
+    def iter_cells(self, **axes: Iterable[Any]):
+        """Lazily stream the grid as seeded :class:`SweepCell` objects.
+
+        Indices count the *full* grid in row-major order, so a consumer
+        that filters the stream (the campaign layer's shard feed) still
+        sees every cell's global identity.
+        """
+        for i, params in enumerate(iter_sweep_grid(**axes)):
+            yield SweepCell(
                 index=i,
                 seed=cell_seed(self.base_seed, **params),
                 params=tuple(sorted(params.items())),
             )
-            for i, params in enumerate(sweep_grid(**axes))
-        ]
+
+    def cells(self, **axes: Iterable[Any]) -> List[SweepCell]:
+        """Materialise the grid as seeded :class:`SweepCell` objects."""
+        return list(self.iter_cells(**axes))
 
     def run(self, cells: Sequence[SweepCell]) -> List[SweepOutcome]:
         """Run every cell and return outcomes in grid order.

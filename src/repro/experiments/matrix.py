@@ -222,6 +222,8 @@ def run_campaign_matrix(
     max_retries: int = 2,
     max_cells: Optional[int] = None,
     in_process: bool = False,
+    shard_index: int = 0,
+    shard_count: int = 1,
 ) -> List[Table]:
     """E18: the E1 upper-bound matrix at scale, through the campaign layer.
 
@@ -248,6 +250,11 @@ def run_campaign_matrix(
     system temp directory — a fresh campaign every call, removed once
     the table is built (pass an explicit ``db_path`` to keep a store
     you can resume or interrupt).
+
+    ``shard_index``/``shard_count`` run just one host's deterministic
+    share of the grid (CLI ``campaign shard --index i --of k``) into
+    its own store; ``merge_campaign_stores`` folds the K stores back
+    into one whose report bytes equal this function run unsharded.
     """
     throwaway = None
     if db_path is None:
@@ -258,6 +265,7 @@ def run_campaign_matrix(
             db_path, ns, detectors, loss_rates, seeds, base_seed, values,
             cell_timeout, processes, max_retries, max_cells,
             in_process=in_process,
+            shard_index=shard_index, shard_count=shard_count,
             throwaway=throwaway is not None,
         )
     finally:
@@ -278,6 +286,8 @@ def _campaign_matrix_tables(
     max_retries: int,
     max_cells: Optional[int],
     in_process: bool = False,
+    shard_index: int = 0,
+    shard_count: int = 1,
     throwaway: bool = False,
 ) -> List[Table]:
     # The seed axis is swept as ``trial``: each trial folds into the
@@ -303,11 +313,17 @@ def _campaign_matrix_tables(
         max_retries=max_retries,
         extra_params={"sqlite_db": db_path},
         in_process=in_process,
+        shard_index=shard_index,
+        shard_count=shard_count,
     ) as runner:
         outcomes = runner.resume(max_cells=max_cells, **axes)
 
+    sharded = shard_count > 1
     table = Table(
-        title="E18  Campaign matrix: (n x detector x loss_rate x seed)",
+        title=(
+            "E18  Campaign matrix: (n x detector x loss_rate x seed)"
+            + (f" [shard {shard_index}/{shard_count}]" if sharded else "")
+        ),
         columns=[
             "n", "detector", "loss_rate", "cells", "done", "timed_out",
             "failed", "solved", "mean_rounds", "mean_decision_round",
@@ -317,6 +333,9 @@ def _campaign_matrix_tables(
             "keep one)" if throwaway else
             f"checkpointed in {db_path}; rerun with the same db to "
             "resume — completed cells are read back, not re-simulated"
+            + (f"; shard {shard_index}/{shard_count} — merge the shard "
+               "stores with 'python -m repro campaign merge' for the "
+               "full grid" if sharded else "")
         ),
     )
     groups = {}

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Docs sanity check: required files exist, internal links resolve.
+
+Usage::
+
+    python tools/check_docs.py [repo_root]
+
+Checks, with no dependencies beyond the standard library:
+
+* ``README.md``, ``docs/campaigns.md``, and ``docs/architecture.md``
+  exist and are non-empty;
+* every relative markdown link in README.md, docs/*.md, ROADMAP.md and
+  CHANGES.md points at a file that exists (``http(s)://`` URLs and
+  pure ``#anchor`` links are skipped; a ``path#anchor`` link is checked
+  for the path part);
+* no link escapes the repository root.
+
+Exit status 0 when clean, 1 with one line per problem otherwise — CI
+runs this as the docs gate, and ``tests/test_docs.py`` runs it in
+tier-1 so a broken link fails locally before it fails in CI.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REQUIRED = ("README.md", "docs/campaigns.md", "docs/architecture.md")
+
+#: inline markdown links: [text](target) — images share the syntax.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: fenced code blocks must not contribute links.
+_FENCE = re.compile(r"^(```|~~~)")
+
+
+def iter_links(text: str):
+    """Yield link targets from *text*, ignoring fenced code blocks."""
+    in_fence = False
+    for line in text.splitlines():
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            yield match.group(1)
+
+
+def check(root: Path) -> list:
+    problems = []
+    for rel in REQUIRED:
+        path = root / rel
+        if not path.is_file():
+            problems.append(f"missing required doc: {rel}")
+        elif not path.read_text(encoding="utf-8").strip():
+            problems.append(f"required doc is empty: {rel}")
+
+    sources = [root / "README.md", root / "ROADMAP.md", root / "CHANGES.md"]
+    sources += sorted((root / "docs").glob("*.md"))
+    for source in sources:
+        if not source.is_file():
+            continue
+        for target in iter_links(source.read_text(encoding="utf-8")):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            rel_target = target.split("#", 1)[0]
+            if not rel_target:
+                continue
+            resolved = (source.parent / rel_target).resolve()
+            src_rel = source.relative_to(root)
+            if root.resolve() not in resolved.parents and resolved != root.resolve():
+                problems.append(
+                    f"{src_rel}: link escapes the repo: {target}")
+            elif not resolved.exists():
+                problems.append(
+                    f"{src_rel}: broken link: {target}")
+    return problems
+
+
+def main(argv: list) -> int:
+    root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent
+    problems = check(root)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"docs check: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print("docs check: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
