@@ -16,6 +16,12 @@ number the CI regression guard tracks), ``scalar_rounds_per_second``
 forces ``use_array_kernel=False``, so the kernel's own win is visible as
 ``kernel_speedup`` without leaving the artifact.
 
+The ``n_scaling`` section publishes the size curve the interned kernel
+is for: SUMMARY-mode throughput at n in {16, 64, 256, 1024}, kernel and
+scalar, with per-n ``kernel_speedup``.  Round counts shrink as n grows
+so the block stays CI-sized; the per-n speedups are same-run ratios and
+therefore machine-independent.
+
 The per-adversary section runs every built-in loss adversary three ways
 under ``RecordPolicy.NONE``: batched resolution on the array kernel
 (``batched_rounds_per_second``), batched resolution with the kernel
@@ -182,6 +188,39 @@ def main() -> None:
     full = report["results"]["full"]["rounds_per_second"]
     summary = report["results"]["summary"]["rounds_per_second"]
     report["summary_over_full"] = summary / full
+
+    # The n-scaling curve (SUMMARY mode: the campaign workhorse).
+    # Rounds shrink with n to keep the block CI-sized; throughput is
+    # per-round so the rows stay comparable along the curve.
+    report["n_scaling"] = {}
+    scale_reps = 2 if args.quick else 3
+    print(f"\n{'n':>6s} {'kernel r/s':>12s} {'scalar r/s':>12s} "
+          f"{'speedup':>8s}")
+    for size in (16, 64, 256, 1024):
+        scale_rounds = max(30, (args.rounds * 64) // size)
+        best = min(
+            run_rounds(size, scale_rounds, RecordPolicy.SUMMARY)
+            for _ in range(scale_reps)
+        )
+        scalar_best = min(
+            run_rounds(
+                size, scale_rounds, RecordPolicy.SUMMARY,
+                use_array_kernel=False,
+            )
+            for _ in range(scale_reps)
+        )
+        row = {
+            "rounds": scale_rounds,
+            "rounds_per_second": scale_rounds / best,
+            "scalar_rounds_per_second": scale_rounds / scalar_best,
+            "kernel_speedup": scalar_best / best,
+        }
+        report["n_scaling"][str(size)] = row
+        print(
+            f"{size:6d} {row['rounds_per_second']:12.0f} "
+            f"{row['scalar_rounds_per_second']:12.0f} "
+            f"{row['kernel_speedup']:7.2f}x"
+        )
 
     # Per-adversary batched vs scalar-kernel vs per-receiver-fallback
     # throughput (NONE mode: the loss resolution dominates, so the

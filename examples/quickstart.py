@@ -68,8 +68,16 @@ def main() -> None:
     #   python -m repro campaign report --table --db campaign.db
     #
     # Speed: the engine has a vectorised *array round kernel* — receive
-    # counts, detector advice, and the randomised adversaries' draws run
-    # as whole-round numpy array passes.  The gating contract:
+    # counts, detector advice, the randomised adversaries' draws, and
+    # (for same-class fleets) process transitions run as whole-round
+    # batched passes.  Rounds with several distinct payloads intern
+    # messages to small int codes and resolve as one (receivers x codes)
+    # count matrix, and the physical-radio and multihop substrate layers
+    # produce array-resolved losses too, so testbed and topology runs
+    # ride the same kernel as the formal adversaries (~2x on the E11
+    # round-throughput smoke at n=64, more at larger n — see
+    # benchmarks/BENCH_e11.json for the committed n-scaling curve).
+    # The gating contract:
     #
     # * the capability probe (repro.core.environment.array_kernel_module)
     #   picks the kernel automatically when numpy is importable; no flag
@@ -100,9 +108,10 @@ def main() -> None:
     #   env = ecf_environment(n=6, loss_rate=0.2, seed=1,
     #                         churn=SeededChurn(0.2, seed=102, deadline=6))
     #
-    # Churned rounds automatically take the pure-python reference path
-    # (the array kernel covers the churn-free prefix), and kernel-on vs
-    # kernel-off executions stay byte-identical either way.  There is
+    # Rounds where a leave or join actually fires take the pure-python
+    # reference path (every other round — mere absences included — still
+    # rides the array kernel), and kernel-on vs kernel-off executions
+    # stay byte-identical either way.  There is
     # also a ring overlay for multihop scenarios — successor lists plus
     # Chord-style finger tables:
     #

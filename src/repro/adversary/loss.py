@@ -37,11 +37,17 @@ conventions let the engine amortise work across receivers:
   in its own drop set as a model violation (a self-delivery breach,
   surfaced as :class:`~repro.core.errors.ModelViolation`).
 * **Array-backed mappings** — the numpy legs of the randomised built-ins
-  return an :class:`ArrayRoundLosses`: normalized like above, but with
-  the per-receiver *drop counts* precomputed as an int array and the
-  drop sets materialised lazily on first mapping access.  The engine's
-  array round kernel consumes the counts directly and, in
-  single-message rounds, never touches the sets at all.
+  (and both substrate layers) return an :class:`ArrayRoundLosses`:
+  normalized like above, but with the per-receiver *drop counts*
+  precomputed as an int array and the drop sets materialised lazily on
+  first mapping access.  The engine's array round kernel consumes the
+  counts directly and, in single-message rounds, never touches the sets
+  at all.  Adversaries that can cheaply name the dropped *(receiver,
+  sender)* pairs as position arrays additionally provide
+  :meth:`ArrayRoundLosses.drop_pairs`; with interned message codes the
+  kernel then resolves multi-message rounds as one (receivers x codes)
+  count matrix instead of per-receiver decrement loops, again without
+  ever materialising a python set.
 
 Determinism guarantees: the same seed and the same call sequence replay
 the same execution (the engine always enumerates receivers in index
@@ -141,7 +147,9 @@ class ArrayRoundLosses(_MappingABC):
     *per-receiver drop counts* as a ready-made int array
     (:attr:`drop_counts`, aligned with :attr:`receivers`), which is all
     the engine's array round kernel needs to derive receive counts and
-    feed array detector advice in single-message rounds.
+    feed array detector advice; single-message rounds resolve from the
+    counts alone, multi-message rounds additionally read
+    :meth:`drop_pairs` when the adversary provides ``pairs``.
 
     The mapping interface is intact for every other consumer
     (:class:`ComposedLoss`, the engine's pure-python path, tests): the
@@ -153,20 +161,49 @@ class ArrayRoundLosses(_MappingABC):
     size of receiver ``i``'s materialised drop set, and materialisation
     must not consume randomness any later draw depends on (the built-ins
     use one per-round substream whose tail is reserved for the sets).
+
+    ``pairs``, when given, is the multi-message acceleration hook: a
+    lazy producer of the dropped *(receiver, sender)* position pairs
+    (see :meth:`drop_pairs`).  It must describe exactly the same drops
+    as the sets and the counts — same per-round substream rules as
+    ``materialise`` — and self pairs (a sender appearing in its own
+    row) must already be excluded.
     """
 
-    __slots__ = ("receivers", "drop_counts", "_sets", "_materialise")
+    __slots__ = (
+        "receivers", "drop_counts", "_sets", "_materialise",
+        "_pairs", "_pairs_fn",
+    )
 
     def __init__(
         self,
         receivers: Tuple[ProcessId, ...],
         drop_counts,
         materialise: Callable[[], Dict[ProcessId, AbstractSet[ProcessId]]],
+        pairs: Optional[Callable[[], Tuple]] = None,
     ) -> None:
         self.receivers = receivers
         self.drop_counts = drop_counts
         self._sets: Optional[Dict[ProcessId, AbstractSet[ProcessId]]] = None
         self._materialise = materialise
+        self._pairs: Optional[Tuple] = None
+        self._pairs_fn = pairs
+
+    def drop_pairs(self) -> Optional[Tuple]:
+        """``(rows, cols)`` position arrays of every dropped pair, or ``None``.
+
+        ``rows[k]`` is the *receiver's* position in :attr:`receivers` and
+        ``cols[k]`` the dropped *sender's* position in this round's
+        sender sequence, one entry per dropped (receiver, sender) pair in
+        any order; self pairs are excluded.  ``None`` means the producer
+        did not provide a pairs representation and the consumer must fall
+        back to the materialised drop sets.  Lazy and memoised, like the
+        sets — the engine only asks in multi-message kernel rounds.
+        """
+        if self._pairs_fn is not None:
+            self._pairs = self._pairs_fn()
+            self._pairs_fn = None
+        return self._pairs
 
     def _ensure(self) -> Dict[ProcessId, AbstractSet[ProcessId]]:
         sets = self._sets
@@ -325,6 +362,9 @@ class IIDLoss(LossAdversary):
         self._np_gen = None
         self._batch_rng: Optional[random.Random] = None
         self._rpos_cache: Optional[Tuple[tuple, Dict[ProcessId, int]]] = None
+        # (receivers tuple, senders list, self-row idx, self-cell idx):
+        # revalidated per round by identity + list equality.
+        self._self_cache: Optional[tuple] = None
 
     def losses(
         self,
@@ -458,18 +498,48 @@ class IIDLoss(LossAdversary):
         drop_counts = hits.reshape(n_receivers, n_senders).sum(
             axis=1, dtype=_np.int64
         )
-        rpos, self._rpos_cache = _cached_receiver_positions(
-            receivers_t, self._rpos_cache
-        )
-        self_rows: List[int] = []
-        self_cells: List[int] = []
-        for j, s in enumerate(senders):
-            k = rpos.get(s)
-            if k is not None:
-                self_rows.append(k)
-                self_cells.append(k * n_senders + j)
-        if self_cells:
+        # The self-pair positions depend only on the (senders, receivers)
+        # pair, which is stable round over round in steady executions —
+        # cache the index arrays and revalidate by cheap list equality.
+        cached = self._self_cache
+        if (cached is not None and cached[0] is receivers_t
+                and cached[1] == senders):
+            self_rows, self_cells = cached[2], cached[3]
+        else:
+            rpos, self._rpos_cache = _cached_receiver_positions(
+                receivers_t, self._rpos_cache
+            )
+            rows_l: List[int] = []
+            cells_l: List[int] = []
+            for j, s in enumerate(senders):
+                k = rpos.get(s)
+                if k is not None:
+                    rows_l.append(k)
+                    cells_l.append(k * n_senders + j)
+            if rows_l:
+                self_rows = _np.asarray(rows_l, dtype=_np.intp)
+                self_cells = _np.asarray(cells_l, dtype=_np.intp)
+            else:
+                self_rows = self_cells = None
+            self._self_cache = (
+                receivers_t, list(senders), self_rows, self_cells
+            )
+        if self_cells is not None:
             drop_counts[self_rows] -= hits[self_cells]
+
+        def pairs() -> Tuple:
+            # The eager Bernoulli grid already holds every dropped pair;
+            # clearing the self cells (exempt, never drops) on a copy
+            # keeps ``hits`` intact for ``materialise`` and consumes no
+            # randomness.
+            if self_cells is not None:
+                grid = hits.copy()
+                grid[self_cells] = False
+                flat = _np.flatnonzero(grid)
+            else:
+                flat = _np.flatnonzero(hits)
+            rows = flat // n_senders
+            return rows, flat - rows * n_senders
 
         def materialise() -> Dict[ProcessId, AbstractSet[ProcessId]]:
             flat = _np.flatnonzero(hits)
@@ -500,12 +570,15 @@ class IIDLoss(LossAdversary):
                 out[pid] = lost if lost else _NO_LOSS
             return out
 
-        return ArrayRoundLosses(receivers_t, drop_counts, materialise)
+        return ArrayRoundLosses(
+            receivers_t, drop_counts, materialise, pairs=pairs
+        )
 
     def reset(self) -> None:
         self._rng = random.Random(self.seed)
         self._np_gen = None
         self._batch_rng = None
+        self._self_cache = None
 
 
 class CaptureEffectLoss(LossAdversary):
@@ -699,15 +772,38 @@ class CaptureEffectLoss(LossAdversary):
         captured_counts = gen.integers(capped + 1)
         drop_counts = m - captured_counts
 
+        # The capture permutations are one lazy draw from the round's
+        # substream, memoised so the drop sets and the drop pairs (either
+        # may be asked first, or both) derive from the *same* keys — the
+        # substream is consumed at most once however many views resolve.
+        order_cell: List = []
+
+        def capture_order():
+            if not order_cell:
+                # Uniform keys per (receiver, sender); each receiver's
+                # own column is pushed past every finite key so the
+                # first m entries of the row's argsort are a uniform
+                # permutation of its m competitors.
+                keys = gen.random((n_receivers, n_senders))
+                if self_rows:
+                    keys[self_rows, self_cols] = _np.inf
+                order_cell.append(_np.argsort(keys, axis=1))
+            return order_cell[0]
+
+        def pairs_multi() -> Tuple:
+            # Row i keeps its permutation's first k_i competitors and
+            # drops positions k_i..m_i-1; the mask picks exactly those
+            # cells, so the pair count per row equals drop_counts[i].
+            order = capture_order()
+            col = _np.arange(n_senders)
+            mask = (
+                (col >= captured_counts[:, None]) & (col < m[:, None])
+            )
+            rows, pos = _np.nonzero(mask)
+            return rows, order[rows, pos]
+
         def materialise_multi() -> Dict[ProcessId, AbstractSet[ProcessId]]:
-            # Uniform keys per (receiver, sender); each receiver's own
-            # column is pushed past every finite key so the first m
-            # entries of the row's argsort are a uniform permutation of
-            # its m competitors.
-            keys = gen.random((n_receivers, n_senders))
-            if self_rows:
-                keys[self_rows, self_cols] = _np.inf
-            order = _np.argsort(keys, axis=1)
+            order = capture_order()
             sender_arr = _np.asarray(senders)
             out: Dict[ProcessId, AbstractSet[ProcessId]] = {}
             m_list = m.tolist()
@@ -721,7 +817,9 @@ class CaptureEffectLoss(LossAdversary):
                 out[pid] = set(sender_arr[order[i, ki:mi]].tolist())
             return out
 
-        return ArrayRoundLosses(receivers_t, drop_counts, materialise_multi)
+        return ArrayRoundLosses(
+            receivers_t, drop_counts, materialise_multi, pairs=pairs_multi
+        )
 
 
 class PartitionLoss(LossAdversary):

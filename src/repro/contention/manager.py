@@ -14,7 +14,11 @@ The engine relies on two conventions:
 * ``observe(round, broadcast_count)`` is called after the round resolves
   (practical managers may listen to the channel; the paper notes this is
   how real implementations work even though the formal definition is a
-  trace set).
+  trace set);
+* a returned advice dict is *frozen once returned*: the engine may cache
+  derived views keyed by the dict's identity, so a manager must hand back
+  a fresh dict whenever the advice changes (returning one long-lived,
+  never-mutated dict — NoContentionManager does — is fine and cheap).
 """
 
 from __future__ import annotations

@@ -43,12 +43,26 @@ def all_passive_schedule(
 
 
 class NoContentionManager(ContentionManager):
-    """The trivial manager ``NOCM_P``: all processes active, always."""
+    """The trivial manager ``NOCM_P``: all processes active, always.
+
+    The advice map is cached per *live-list object*: the engine rebuilds
+    its live list whenever membership changes, so identity is a sound
+    cache key, and the advice contract already forbids callers from
+    mutating the returned dict (the engine copies before padding).
+    """
+
+    _cache_key: Optional[Sequence[ProcessId]] = None
+    _cache_advice: Optional[Dict[ProcessId, ContentionAdvice]] = None
 
     def advise(
         self, round_index: int, indices: Sequence[ProcessId]
     ) -> Dict[ProcessId, ContentionAdvice]:
-        return {i: ACTIVE for i in indices}
+        if self._cache_key is indices:
+            return self._cache_advice
+        advice = {i: ACTIVE for i in indices}
+        self._cache_key = indices
+        self._cache_advice = advice
+        return advice
 
 
 class WakeUpService(ContentionManager):

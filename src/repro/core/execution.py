@@ -33,28 +33,52 @@ adversary cannot silently produce an illegal execution.
 The array round kernel
 ----------------------
 
-Steps (4)-(5) have a vectorised fast path, gated on
+Steps (4)-(6) have a vectorised fast path, gated on
 :func:`~repro.core.environment.array_kernel_module` (numpy present,
 ``REPRO_PURE_PYTHON`` unset) and the engine's ``use_array_kernel``
 knob.  When a batched adversary resolves the round as an
 :class:`~repro.adversary.loss.ArrayRoundLosses` — per-receiver drop
 counts as an int array, drop sets lazy — the kernel derives every
 receive count with one array subtraction, validates drop budgets
-against a sender-membership array, shares one multiset per distinct
-keep count in single-message rounds (never touching the drop sets at
-all), and hands the detector the counts *array* through the
-``advise_array`` hook (whose default round-trips through dict
-``advise``, so third-party detectors keep working).  Advice and
-multisets then flow to transitions as position-aligned lists instead of
-dicts.  The pure-python path remains the reference: both paths produce
+against a sender-membership array, and hands the detector the counts
+*array* through the ``advise_array`` hook (whose default round-trips
+through dict ``advise``, so third-party detectors keep working).
+
+Receive multisets are shared, never rebuilt per receiver: a
+single-message round shares one multiset per distinct keep count
+(never touching the drop sets at all), and a *multi-message* round —
+distinct payloads in flight — goes through the message interning
+table (:class:`~repro.core.arrays.MessageInterner` maps payloads to
+small int codes per execution): the adversary's dropped (receiver,
+sender) position pairs (``ArrayRoundLosses.drop_pairs``) turn into a
+(receivers x codes) kept-count matrix via ``bincount``, and each
+*distinct* row materialises exactly one multiset
+(:meth:`~repro.core.multiset.Multiset.from_code_row`).  Adversaries
+that provide counts but no pairs fall back to per-receiver decrement
+loops over their materialised drop sets.
+
+Transitions batch too: when every active process shares one class
+whose ``transition_array`` is trusted (the same MRO-guard +
+dict-fallback contract as ``advise_array`` — see
+:func:`~repro.core.process._trusted_transition_array`), the round's
+transitions are one batched call over position-aligned lists instead
+of per-process ``transition``/``_advance_round`` call pairs.
+Heterogeneous fleets and third-party process classes keep the
+per-process loop, call-for-call.
+
+The pure-python path remains the reference: both paths produce
 indistinguishable executions under every record policy, including
-crash and halting rounds (``tests/test_array_kernel.py``).  Rounds with
-membership churn always take the scalar reference path (the *fallback
-gate*): the scalar loop treats ``ArrayRoundLosses`` as a normalized
-mapping, so no adversary randomness is disturbed and kernel-on vs
-kernel-off byte-identity extends to churned executions, while churn-free
-prefixes still ride the kernel (``tests/test_churn.py`` asserts the
-gate via the engine's ``kernel_rounds`` counter).
+crash and halting rounds (``tests/test_array_kernel.py``).  Rounds
+with a pending churn *event* (a leave or join firing this round) take
+the scalar reference path (the *fallback gate*): the scalar loop
+treats ``ArrayRoundLosses`` as a normalized mapping, so no adversary
+randomness is disturbed and kernel-on vs kernel-off byte-identity
+extends to churned executions.  Event-free rounds — including rounds
+where pids are merely *absent* after an earlier leave — ride the
+kernel: the loss adversary is consulted over the full index set on
+both paths, so absence only gates the per-process bookkeeping, not the
+randomness (``tests/test_churn.py`` asserts the gate via the engine's
+``kernel_rounds`` counter).
 
 Record policies
 ---------------
@@ -80,9 +104,10 @@ from ..adversary.churn import NoChurn
 from ..adversary.loss import ArrayRoundLosses, ResolvedRoundLosses
 from ..core.errors import ConfigurationError, ModelViolation
 from .algorithm import Algorithm, ConsensusAlgorithm
+from .arrays import MessageInterner
 from .environment import Environment, array_kernel_module
 from .multiset import Multiset
-from .process import Process, _UNDECIDED
+from .process import Process, _UNDECIDED, _trusted_transition_array
 from .records import ExecutionResult, RecordPolicy, RoundRecord, RoundSummary
 from .types import CollisionAdvice, ContentionAdvice, Message, ProcessId, Value
 
@@ -165,6 +190,28 @@ class ExecutionEngine:
         self._pid_pos: Dict[ProcessId, int] = {
             pid: k for k, pid in enumerate(environment.indices)
         }
+        # Message interning table for multi-message kernel rounds
+        # (payload -> small int code, stable per execution); created on
+        # first use so single-message workloads never pay for it.
+        self._interner: Optional[MessageInterner] = None
+        # Singleton-round multiset buckets, shared across rounds:
+        # message payload -> {keep count -> Multiset}.  Multisets are
+        # immutable, so an execution-wide cache is safe and the common
+        # single-payload round reuses every previously built bucket.
+        self._ms_buckets: Dict[Optional[Message], Dict[int, Multiset]] = {}
+        # Contention-advice list cache for batched transitions, keyed by
+        # the advice dict's identity: managers that return a stable,
+        # unmutated dict (NoContentionManager) pay the index-aligned
+        # list build once instead of every round.
+        self._cm_list_key: Optional[dict] = None
+        self._cm_list: Optional[list] = None
+        # Batched-transition cache: the index-aligned process list and
+        # the one class every process shares when its
+        # ``transition_array`` is trusted (else None -> per-pid loop).
+        # Invalidated whenever a process instance is replaced (churn
+        # rejoin) and rebuilt lazily on the next kernel round.
+        self._procs_list: Optional[List[Process]] = None
+        self._batch_cls: Optional[type] = None
         # -- dynamic membership (the churn extension) -------------------
         # ``_departed`` maps pid -> round it left (0 = absent from round
         # 1); rejoining clears the entry and, for pids that already
@@ -178,9 +225,10 @@ class ExecutionEngine:
         self._rejoins: Dict[ProcessId, int] = {}
         self._departed_decisions: List[Tuple[ProcessId, Value, int]] = []
         #: Rounds this execution resolved through the array kernel.  The
-        #: churn fallback gate is asserted against this: churn-free
-        #: prefixes ride the kernel, rounds with membership activity
-        #: take the scalar reference path.
+        #: churn fallback gate is asserted against this: only rounds
+        #: with a pending membership *event* (a leave or join firing)
+        #: take the scalar reference path; event-free rounds — absent
+        #: pids included — ride the kernel.
         self.kernel_rounds: int = 0
         if self._has_churn:
             absent = frozenset(churn.initially_absent(environment.indices))
@@ -226,19 +274,19 @@ class ExecutionEngine:
         # manager or crash adversary look at it); leaves are collected
         # now and committed at the end of the round, with ``after_send``
         # deciding whether the final broadcast goes out — the same two
-        # legal timings as crashes.  Any round with membership activity
-        # (events now, or pids currently departed) is a *churn round*
-        # and takes the scalar reference path below.
+        # legal timings as crashes.  Only rounds with a *pending event*
+        # (a leave or join firing now) take the scalar reference path
+        # below; rounds where pids are merely absent after an earlier
+        # leave ride the kernel — the loss adversary sees the full index
+        # set on both paths, so absence never shifts its randomness.
         leave_after_send: frozenset = _NO_LEAVES
         leave_before_send: frozenset = _NO_LEAVES
-        churn_round = False
+        event_round = False
         if self._has_churn:
-            leave_after_send, leave_before_send, churn_round = (
+            leave_after_send, leave_before_send, event_round = (
                 self._apply_churn(r)
             )
         departed = self._departed
-        if departed:
-            churn_round = True
 
         # (1) Crashes for this round.
         live_before = self._live
@@ -283,6 +331,8 @@ class ExecutionEngine:
         processes = self.processes
         messages: Dict[ProcessId, Optional[Message]] = {}
         senders: List[ProcessId] = []
+        base_counts: Dict[Message, int] = {}
+        base_get = base_counts.get
         inactive = set(crash_after_send)
         if leave_after_send:
             # Broadcast-then-depart: the message goes out but the
@@ -290,7 +340,7 @@ class ExecutionEngine:
             inactive |= leave_after_send
         halted_live: List[ProcessId] = []
         if (not crashed and not crash_before_send and not crash_after_send
-                and not churn_round):
+                and not departed and not event_round):
             # Crash- and churn-free round (the overwhelmingly common
             # case): no per-index membership tests.
             for pid in indices:
@@ -304,6 +354,7 @@ class ExecutionEngine:
                 messages[pid] = m
                 if m is not None:
                     senders.append(pid)
+                    base_counts[m] = base_get(m, 0) + 1
         else:
             for pid in indices:
                 if (pid in crashed or pid in crash_before_send
@@ -323,6 +374,7 @@ class ExecutionEngine:
                 messages[pid] = m
                 if m is not None:
                     senders.append(pid)
+                    base_counts[m] = base_get(m, 0) + 1
 
         # (4) Loss resolution and receive multisets.  One batched
         # ``losses_for_round`` call resolves the whole round (the base
@@ -348,10 +400,6 @@ class ExecutionEngine:
         )
         counts: Dict[ProcessId, int] = {}
         received: Dict[ProcessId, Multiset] = {}
-        base_counts: Dict[Message, int] = {}
-        for s in senders:
-            m = messages[s]
-            base_counts[m] = base_counts.get(m, 0) + 1
         total = len(senders)
         full_round_ms = Multiset._from_counts_unchecked(base_counts, total)
         single = len(base_counts) == 1
@@ -361,17 +409,19 @@ class ExecutionEngine:
         counts_arr = None
         received_list: Optional[list] = None
         if (np_mod is not None and lm_type is ArrayRoundLosses
-                and not churn_round):
-            # Array fast path (never on churn rounds: membership churn
-            # takes the scalar reference path below, which already
-            # treats ``ArrayRoundLosses`` as a normalized mapping, so
-            # the adversary's RNG stream — and the execution — stay
-            # byte-identical across the gate): the adversary delivered
-            # per-receiver drop
+                and not event_round):
+            # Array fast path (never on churn *event* rounds: a firing
+            # leave or join takes the scalar reference path below, which
+            # already treats ``ArrayRoundLosses`` as a normalized
+            # mapping, so the adversary's RNG stream — and the
+            # execution — stay byte-identical across the gate): the
+            # adversary delivered per-receiver drop
             # counts as an int array, so receive counts are one
             # vectorised subtraction and the drop *sets* are only
             # materialised when distinct message payloads force
-            # per-receiver multiset decrements.  Validation stays whole-
+            # per-receiver multiset decrements — and even then only for
+            # adversaries that provide no dropped-pair arrays.
+            # Validation stays whole-
             # array too: every count must fit inside the receiver's
             # droppable budget (the sender membership array realises the
             # self-delivery exemption of constraint 5).
@@ -386,17 +436,25 @@ class ExecutionEngine:
                     "round resolution"
                 )
             drop = lost_map.drop_counts
-            own = np_mod.zeros(len(indices), dtype=bool)
-            if senders:
-                pid_pos = self._pid_pos
-                own[[pid_pos[s] for s in senders]] = True
-            bad = (drop < 0) | (drop > (total - own))
+            if total == len(indices):
+                # Everyone broadcast, so every budget is ``total - 1``
+                # and the sender-membership array is a constant — skip
+                # building it.
+                own = None
+                bad = (drop < 0) | (drop > total - 1)
+            else:
+                own = np_mod.zeros(len(indices), dtype=bool)
+                if senders:
+                    pid_pos = self._pid_pos
+                    own[[pid_pos[s] for s in senders]] = True
+                bad = (drop < 0) | (drop > (total - own))
             if bad.any():
                 k = int(bad.argmax())
+                budget = total - (1 if own is None else int(own[k]))
                 raise ModelViolation(
                     f"array loss resolution claims {int(drop[k])} drops "
                     f"at {indices[k]}, outside its droppable budget of "
-                    f"{total - int(own[k])}"
+                    f"{budget}"
                 )
             counts_arr = total - drop
             counts_list = counts_arr.tolist()
@@ -406,32 +464,102 @@ class ExecutionEngine:
             # distinct keep count; the lossless bucket shares the
             # round's full multiset outright.
             if single or total == 0:
-                buckets = Multiset.singleton_buckets(
-                    only_message if total else None, set(counts_list)
-                )
-                buckets[total] = full_round_ms
-                received_list = [buckets[kept] for kept in counts_list]
-            else:
-                received_list = []
-                for k, pid in enumerate(indices):
-                    if not always_multiset and pid in inactive:
-                        received_list.append(None)
-                        continue
-                    kept = counts_list[k]
-                    if kept == total:
-                        received_list.append(full_round_ms)
-                        continue
-                    cnt = dict(base_counts)
-                    for s in lost_map[pid]:
-                        m = messages[s]
-                        left = cnt[m] - 1
-                        if left:
-                            cnt[m] = left
-                        else:
-                            del cnt[m]
-                    received_list.append(
-                        Multiset._from_counts_unchecked(cnt, kept)
+                # The buckets persist across rounds (multisets are
+                # immutable, so sharing is safe execution-wide): in the
+                # steady state every keep count has been seen before and
+                # the round is one C-level map over the cache.
+                key = only_message if total else None
+                buckets = self._ms_buckets.get(key)
+                if buckets is None:
+                    buckets = self._ms_buckets[key] = {}
+                try:
+                    received_list = list(
+                        map(buckets.__getitem__, counts_list)
                     )
+                except KeyError:
+                    buckets.update(Multiset.singleton_buckets(
+                        key, set(counts_list) - buckets.keys()
+                    ))
+                    buckets[total] = full_round_ms
+                    received_list = list(
+                        map(buckets.__getitem__, counts_list)
+                    )
+            else:
+                # Multi-message round.  With dropped (receiver, sender)
+                # position pairs available, interned message codes turn
+                # the whole round into one (receivers x codes)
+                # kept-count matrix — one bincount for the drops, one
+                # subtraction — and each *distinct* row builds exactly
+                # one multiset.  Sharing rows is exact because multiset
+                # equality is counts-based, insertion-order-free.
+                pairs = lost_map.drop_pairs()
+                if pairs is not None:
+                    interner = self._interner
+                    if interner is None:
+                        interner = self._interner = MessageInterner()
+                    codes = interner.codes(messages[s] for s in senders)
+                    width = len(interner.payloads)
+                    codes_arr = np_mod.asarray(codes, dtype=np_mod.int64)
+                    rows, cols = pairs
+                    drop2d = np_mod.bincount(
+                        rows * width + codes_arr[cols],
+                        minlength=len(indices) * width,
+                    ).reshape(len(indices), width)
+                    kept2d = np_mod.bincount(
+                        codes_arr, minlength=width
+                    ) - drop2d
+                    if not np_mod.array_equal(
+                        kept2d.sum(axis=1), counts_arr
+                    ):
+                        raise ModelViolation(
+                            "array loss resolution's drop pairs disagree "
+                            "with its drop counts"
+                        )
+                    payloads = interner.payloads
+                    rows_list = kept2d.tolist()
+                    row_cache: Dict[tuple, Multiset] = {}
+                    received_list = []
+                    for k, pid in enumerate(indices):
+                        if not always_multiset and pid in inactive:
+                            received_list.append(None)
+                            continue
+                        kept = counts_list[k]
+                        if kept == total:
+                            received_list.append(full_round_ms)
+                            continue
+                        row = rows_list[k]
+                        key = tuple(row)
+                        ms = row_cache.get(key)
+                        if ms is None:
+                            ms = row_cache[key] = Multiset.from_code_row(
+                                payloads, row, kept
+                            )
+                        received_list.append(ms)
+                else:
+                    # No pairs representation (a third-party
+                    # ArrayRoundLosses): decrement per receiver from the
+                    # materialised drop sets — still counts-gated, so
+                    # loss-free receivers share the round multiset.
+                    received_list = []
+                    for k, pid in enumerate(indices):
+                        if not always_multiset and pid in inactive:
+                            received_list.append(None)
+                            continue
+                        kept = counts_list[k]
+                        if kept == total:
+                            received_list.append(full_round_ms)
+                            continue
+                        cnt = dict(base_counts)
+                        for s in lost_map[pid]:
+                            m = messages[s]
+                            left = cnt[m] - 1
+                            if left:
+                                cnt[m] = left
+                            else:
+                                del cnt[m]
+                        received_list.append(
+                            Multiset._from_counts_unchecked(cnt, kept)
+                        )
             if full:
                 received = dict(zip(indices, received_list))
             counts = None  # type: ignore[assignment]
@@ -478,18 +606,59 @@ class ExecutionEngine:
             # Kernel rounds only: advice and multisets live in lists
             # aligned with the index tuple, so transitions never pay
             # per-pid dict lookups (``received_list`` is always set on
-            # the path that set ``advice_list``).
-            for k, pid in enumerate(indices):
-                if inactive and pid in inactive:
-                    continue
-                proc = processes[pid]
-                already_decided = proc._decision is not _UNDECIDED
-                proc.transition(
-                    received_list[k], advice_list[k], cm_advice[pid]
-                )
-                proc._advance_round()
-                if not already_decided and proc._decision is not _UNDECIDED:
-                    decided_during[pid] = proc._decision
+            # the path that set ``advice_list``).  When every active
+            # process shares one trusted class, the whole round is one
+            # ``transition_array`` call; otherwise the per-pid loop is
+            # the byte-identical fallback.
+            procs_list = self._procs_list
+            if procs_list is None:
+                procs_list = self._refresh_batch_cache()
+            batch_cls = self._batch_cls
+            if batch_cls is not None:
+                if inactive:
+                    ks = [
+                        k for k, pid in enumerate(indices)
+                        if pid not in inactive
+                    ]
+                    newly = batch_cls.transition_array(
+                        [procs_list[k] for k in ks],
+                        [received_list[k] for k in ks],
+                        [advice_list[k] for k in ks],
+                        [cm_advice[indices[k]] for k in ks],
+                    )
+                    if newly:
+                        for i in newly:
+                            pid = indices[ks[i]]
+                            decided_during[pid] = processes[pid]._decision
+                else:
+                    if self._cm_list_key is cm_advice:
+                        cm_list = self._cm_list
+                    else:
+                        cm_list = list(
+                            map(cm_advice.__getitem__, indices)
+                        )
+                        self._cm_list_key = cm_advice
+                        self._cm_list = cm_list
+                    newly = batch_cls.transition_array(
+                        procs_list, received_list, advice_list, cm_list,
+                    )
+                    if newly:
+                        for i in newly:
+                            pid = indices[i]
+                            decided_during[pid] = processes[pid]._decision
+            else:
+                for k, pid in enumerate(indices):
+                    if inactive and pid in inactive:
+                        continue
+                    proc = processes[pid]
+                    already_decided = proc._decision is not _UNDECIDED
+                    proc.transition(
+                        received_list[k], advice_list[k], cm_advice[pid]
+                    )
+                    proc._advance_round()
+                    if (not already_decided
+                            and proc._decision is not _UNDECIDED):
+                        decided_during[pid] = proc._decision
         else:
             active_pids = (
                 indices if not inactive
@@ -507,8 +676,9 @@ class ExecutionEngine:
                     decided_during[pid] = proc._decision
 
         # Commit crashes and refresh the cached live list/set.
-        newly_crashed = crash_before_send | crash_after_send
-        if newly_crashed:
+        newly_crashed: frozenset = _NO_LEAVES
+        if crash_before_send or crash_after_send:
+            newly_crashed = crash_before_send | crash_after_send
             for pid in newly_crashed:
                 crashed[pid] = r
             self._live = [i for i in self._live if i not in newly_crashed]
@@ -560,6 +730,31 @@ class ExecutionEngine:
             self._summaries.append(summary)
         return summary
 
+    def _refresh_batch_cache(self) -> List[Process]:
+        """Rebuild the index-aligned process list and the batch class.
+
+        ``_batch_cls`` is the one class every process shares when its
+        ``transition_array`` may stand in for per-process ``transition``
+        calls (:func:`~repro.core.process._trusted_transition_array`);
+        ``None`` routes kernel rounds through the per-pid reference
+        loop.  Crashed processes stay in the list — the ``inactive``
+        filter excludes them per round — so the cache only invalidates
+        when an instance is *replaced* (churn rejoin).
+        """
+        processes = self.processes
+        procs = [processes[pid] for pid in self.environment.indices]
+        self._procs_list = procs
+        cls: Optional[type] = type(procs[0]) if procs else None
+        if cls is not None:
+            for p in procs:
+                if type(p) is not cls:
+                    cls = None
+                    break
+        if cls is not None and not _trusted_transition_array(cls):
+            cls = None
+        self._batch_cls = cls
+        return procs
+
     def _apply_churn(self, r: int):
         """Apply round ``r``'s membership events.
 
@@ -608,6 +803,9 @@ class ExecutionEngine:
                             "ExecutionEngine)"
                         )
                     processes[pid] = self._process_factory(pid)
+                    # The batched-transition cache holds the old
+                    # instance; rebuild it on the next kernel round.
+                    self._procs_list = None
                 # left_round == 0: the initial instance never stepped, so
                 # it already is fresh state — no factory needed.
                 del departed[pid]

@@ -102,6 +102,30 @@ class Multiset:
         }
 
     @classmethod
+    def from_code_row(
+        cls, payloads: Iterable[Any], row: Iterable[int], size: int
+    ) -> "Multiset":
+        """One multiset from a row of per-code multiplicities.
+
+        ``row[c]`` is the multiplicity of ``payloads[c]`` (an interned
+        message table — see
+        :class:`~repro.core.arrays.MessageInterner`); zero entries are
+        skipped, so the multiset's counts dict holds only the payloads
+        actually present.  ``size`` must equal ``sum(row)``.  The
+        multi-message companion of :meth:`singleton_buckets`: the array
+        kernel derives one kept-count row per receiver and builds each
+        *distinct* row's multiset exactly once through this constructor.
+        Like ``_from_counts_unchecked``, callers guarantee the
+        invariants — this is a hot-path adoption constructor, not a
+        validating one.
+        """
+        counts = {}
+        for payload, n in zip(payloads, row):
+            if n:
+                counts[payload] = n
+        return cls._from_counts_unchecked(counts, size)
+
+    @classmethod
     def from_set(cls, values: Iterable[Any]) -> "Multiset":
         """The paper's ``MS(S)``: one instance of each element of ``S``."""
         return cls(set(values))

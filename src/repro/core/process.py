@@ -21,13 +21,45 @@ crash).
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import Dict, List, Optional, Sequence
 
 from .errors import ModelViolation
 from .multiset import Multiset
 from .types import CollisionAdvice, ContentionAdvice, Message, Value
 
 _UNDECIDED = object()
+
+#: process class -> may its ``transition_array`` stand in for per-process
+#: ``transition`` calls?  See :func:`_trusted_transition_array`.
+_TTA_TRUSTED: Dict[type, bool] = {}
+
+
+def _trusted_transition_array(process_cls: type) -> bool:
+    """May ``process_cls.transition_array`` answer for ``transition``?
+
+    The same MRO-guard contract as the detector layer's
+    ``_trusted_free_choice_array``: walking the MRO, the first class that
+    defines either ``transition`` or ``transition_array`` decides, and it
+    is trusted exactly when it defines the array form itself — so a
+    subclass that overrides ``transition`` while inheriting an ancestor's
+    ``transition_array`` is never silently bypassed.  A class that
+    overrides ``_advance_round`` is untrusted too: the batch
+    implementations advance the round counter inline.
+    """
+    cached = _TTA_TRUSTED.get(process_cls)
+    if cached is None:
+        cached = False
+        for klass in process_cls.__mro__:
+            owns_array = "transition_array" in klass.__dict__
+            if owns_array or "transition" in klass.__dict__:
+                cached = owns_array
+                break
+        if cached and (
+            process_cls._advance_round is not Process._advance_round
+        ):
+            cached = False
+        _TTA_TRUSTED[process_cls] = cached
+    return cached
 
 
 class Process(abc.ABC):
@@ -70,6 +102,45 @@ class Process(abc.ABC):
         ``received`` always contains the process's own message when it
         broadcast (Definition 11, constraint 5).
         """
+
+    @classmethod
+    def transition_array(
+        cls,
+        processes: Sequence["Process"],
+        received: Sequence[Multiset],
+        cd_advice: Sequence[CollisionAdvice],
+        cm_advice: Sequence[ContentionAdvice],
+    ) -> Optional[List[int]]:
+        """Batched ``trans_A`` over position-aligned sequences.
+
+        The engine's array round kernel calls this once per round — on
+        the class every active process shares, and only when
+        :func:`_trusted_transition_array` vouches for that class —
+        instead of one :meth:`transition` plus one round advance per
+        process.  All four arguments are aligned: ``processes[i]``
+        transitions on ``(received[i], cd_advice[i], cm_advice[i])``.
+        Implementations must also advance each process's round counter
+        (the engine will not call ``_advance_round`` again) and return
+        the positions of processes that *newly* decided during the call,
+        in ascending order — or ``None`` when none did, so the common
+        undecided round costs no list allocation.
+
+        This default round-trips through per-process :meth:`transition`
+        in sequence order — exactly the calls the scalar engine loop
+        would make — so a process class opts *in* to vectorisation by
+        overriding it; third-party classes keep working call-for-call.
+        """
+        decided: Optional[List[int]] = None
+        for i, proc in enumerate(processes):
+            already = proc._decision is not _UNDECIDED
+            proc.transition(received[i], cd_advice[i], cm_advice[i])
+            proc._advance_round()
+            if not already and proc._decision is not _UNDECIDED:
+                if decided is None:
+                    decided = [i]
+                else:
+                    decided.append(i)
+        return decided
 
     # ------------------------------------------------------------------
     # Decision bookkeeping
@@ -148,6 +219,16 @@ class SilentProcess(Process):
     ) -> None:
         return None
 
+    @classmethod
+    def transition_array(
+        cls, processes, received, cd_advice, cm_advice
+    ) -> Optional[List[int]]:
+        # Silent processes ignore their input entirely; a batch round is
+        # just the round advances.
+        for proc in processes:
+            proc._round += 1
+        return None
+
 
 class ScriptedProcess(Process):
     """A process that broadcasts a fixed script of messages.
@@ -175,3 +256,14 @@ class ScriptedProcess(Process):
         cm_advice: ContentionAdvice,
     ) -> None:
         self.observations.append((received, cd_advice, cm_advice))
+
+    @classmethod
+    def transition_array(
+        cls, processes, received, cd_advice, cm_advice
+    ) -> Optional[List[int]]:
+        # One zip loop instead of 2n method calls: scripted processes
+        # only record what they saw and never decide.
+        for proc, ms, cd, cm in zip(processes, received, cd_advice, cm_advice):
+            proc.observations.append((ms, cd, cm))
+            proc._round += 1
+        return None

@@ -28,8 +28,12 @@ from .properties import (
     collision_obligation_array,
 )
 
-#: Gated acceleration for whole-trace legality checks, same probe as the
-#: engine's array kernel.
+#: Gated acceleration for whole-trace legality checks, same probe (and
+#: the same ``REPRO_PURE_PYTHON`` override) as the engine's array
+#: kernel.  Legality is a pure function of the ``(c, t)`` counts, so
+#: these validators vectorise every round unconditionally — including
+#: multi-payload rounds, which the engine now also keeps on its kernel
+#: via message interning rather than dropping to the scalar path.
 _np = numpy_or_none()
 
 

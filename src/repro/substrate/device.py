@@ -22,16 +22,28 @@ import dataclasses
 from typing import AbstractSet, Dict, Mapping, Optional, Sequence
 
 from ..adversary.crash import CrashAdversary, NoCrashes
-from ..adversary.loss import LossAdversary, ResolvedRoundLosses
+from ..adversary.loss import (
+    ArrayRoundLosses,
+    LossAdversary,
+    ResolvedRoundLosses,
+)
 from ..contention.backoff import BackoffContentionManager
 from ..core.algorithm import ConsensusAlgorithm
+from ..core.arrays import numpy_or_none
 from ..core.environment import Environment
 from ..core.execution import ExecutionEngine
 from ..core.records import ExecutionResult
 from ..core.types import CollisionAdvice, ProcessId, Value
 from ..detectors.detector import CollisionDetector
 from .carrier_sense import CarrierSenseDetector
-from .radio import RadioChannel, RadioConfig, TransmissionOutcome
+from .radio import (
+    RadioChannel,
+    RadioConfig,
+    TransmissionOutcome,
+    outcome_drop_arrays,
+)
+
+_np = numpy_or_none()
 
 
 class PhysicalLayer(LossAdversary, CollisionDetector):
@@ -85,8 +97,33 @@ class PhysicalLayer(LossAdversary, CollisionDetector):
         # detector's benefit); the per-receiver drop sets fall out of the
         # cached outcomes without re-scanning state per call.  Each set is
         # a subset of senders minus the receiver, so the mapping is
-        # normalized.
+        # normalized.  With numpy present the round resolves as an
+        # :class:`ArrayRoundLosses` — counts and dropped pairs derived
+        # from the already-arbitrated outcomes (no randomness consumed),
+        # sets only on demand — so testbed rounds ride the engine's
+        # array kernel; the pure-python branch below stays the
+        # byte-identical reference.
         outcomes = self._outcomes(round_index, senders)
+        if _np is not None:
+            receivers_t = (
+                receivers if type(receivers) is tuple else tuple(receivers)
+            )
+            drop_counts, pairs = outcome_drop_arrays(
+                _np, outcomes, senders, receivers_t
+            )
+
+            def materialise() -> Dict[ProcessId, AbstractSet[ProcessId]]:
+                out: Dict[ProcessId, AbstractSet[ProcessId]] = {}
+                for pid in receivers_t:
+                    decoded = set(outcomes[pid].decoded)
+                    out[pid] = {
+                        s for s in senders if s != pid and s not in decoded
+                    }
+                return out
+
+            return ArrayRoundLosses(
+                receivers_t, drop_counts, materialise, pairs=pairs
+            )
         out = ResolvedRoundLosses()
         for pid in receivers:
             decoded = set(outcomes[pid].decoded)

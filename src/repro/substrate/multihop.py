@@ -30,7 +30,8 @@ from typing import AbstractSet, Dict, List, Mapping, Optional, Sequence, Set
 
 import networkx as nx
 
-from ..adversary.loss import LossAdversary
+from ..adversary.loss import ArrayRoundLosses, LossAdversary
+from ..core.arrays import numpy_or_none
 from ..core.errors import ConfigurationError
 from ..core.types import CollisionAdvice, ProcessId
 from ..detectors.detector import CollisionDetector
@@ -38,9 +39,12 @@ from ..detectors.policy import BenignPolicy, DetectorPolicy
 from ..detectors.properties import (
     AccuracyMode,
     Completeness,
+    accuracy_active,
     must_report_collision,
     must_report_null,
 )
+
+_np = numpy_or_none()
 
 
 class MultihopNetwork:
@@ -168,6 +172,9 @@ class MultihopLayer(LossAdversary, CollisionDetector):
         self.policy = policy or BenignPolicy()
         self._senders_by_round: Dict[int, Sequence[ProcessId]] = {}
         self._losses_by_round: Dict[int, Dict[ProcessId, Set[ProcessId]]] = {}
+        # Closed-neighbourhood incidence matrix + index positions, built
+        # lazily per index tuple for the array advice path.
+        self._nbhd_cache: Optional[tuple] = None
 
     # -- LossAdversary ------------------------------------------------------
     def losses(
@@ -206,25 +213,43 @@ class MultihopLayer(LossAdversary, CollisionDetector):
         uniform topologies (cliques, dense grids) this collapses the
         per-receiver work of the legacy path to a handful of group-level
         resolutions per round.
+
+        With numpy present the round resolves as an
+        :class:`ArrayRoundLosses`: per-receiver drop counts come from the
+        group sizes (``|cross|`` plus the inner adversary's own batched
+        counts), the drop sets and dropped pairs only on demand.  The
+        inner delegations happen *here*, before the representation
+        branches, in group order — so the inner adversary's randomness is
+        consumed identically whichever representation is served and
+        whether or not the engine's kernel consumes it.  Inner drop sets
+        must stay within the local sender list (minus the receiver);
+        normalized inner mappings guarantee that already.
         """
         self._senders_by_round[round_index] = list(senders)
-        by_round = self._losses_by_round.setdefault(round_index, {})
         network = self.network
         groups: Dict[tuple, List[ProcessId]] = {}
         for pid in receivers:
             neighborhood = network.closed_neighborhood(pid)
             local = tuple(s for s in senders if s in neighborhood)
             groups.setdefault(local, []).append(pid)
-        out: Dict[ProcessId, AbstractSet[ProcessId]] = {}
         inner = self.inner
+        inner_maps: Dict[tuple, Mapping] = {}
+        if inner is not None:
+            for local, members in groups.items():
+                inner_maps[local] = inner.losses_for_round(
+                    round_index, list(local), members
+                )
         senders_fs = frozenset(senders)
+        if _np is not None:
+            return self._losses_round_array(
+                round_index, senders, receivers, groups, inner_maps,
+                senders_fs,
+            )
+        out: Dict[ProcessId, AbstractSet[ProcessId]] = {}
+        by_round = self._losses_by_round.setdefault(round_index, {})
         for local, members in groups.items():
             cross = senders_fs - frozenset(local)
-            inner_map = (
-                inner.losses_for_round(round_index, list(local), members)
-                if inner is not None
-                else None
-            )
+            inner_map = inner_maps.get(local)
             for pid in members:
                 inner_lost = inner_map[pid] if inner_map else None
                 if inner_lost:
@@ -235,6 +260,91 @@ class MultihopLayer(LossAdversary, CollisionDetector):
                 out[pid] = lost
                 by_round[pid] = set(lost)
         return out
+
+    def _losses_round_array(
+        self,
+        round_index: int,
+        senders: Sequence[ProcessId],
+        receivers: Sequence[ProcessId],
+        groups: Dict[tuple, List[ProcessId]],
+        inner_maps: Dict[tuple, Mapping],
+        senders_fs: frozenset,
+    ) -> ArrayRoundLosses:
+        """Array representation of one resolved round (numpy present).
+
+        Counts are assembled per group: the receiver-independent
+        ``|cross|`` plus the inner adversary's drop count — read straight
+        off the inner :class:`ArrayRoundLosses` when it produced one, so
+        an inner ``IIDLoss`` contributes counts without ever
+        materialising a python set.  Sets (and the round bookkeeping
+        they feed) and dropped pairs resolve lazily, sharing one memo.
+        """
+        receivers_t = (
+            receivers if type(receivers) is tuple else tuple(receivers)
+        )
+        rpos = {pid: k for k, pid in enumerate(receivers_t)}
+        n_senders = len(senders)
+        drop_counts = _np.zeros(len(receivers_t), dtype=_np.int64)
+        for local, members in groups.items():
+            cross_count = n_senders - len(local)
+            inner_map = inner_maps.get(local)
+            if inner_map is None:
+                for pid in members:
+                    drop_counts[rpos[pid]] = cross_count
+            elif (type(inner_map) is ArrayRoundLosses
+                    and list(inner_map.receivers) == members):
+                inner_counts = inner_map.drop_counts.tolist()
+                for i, pid in enumerate(members):
+                    drop_counts[rpos[pid]] = cross_count + inner_counts[i]
+            else:
+                for pid in members:
+                    inner_lost = inner_map[pid] if inner_map else None
+                    extra = (
+                        sum(1 for s in inner_lost if s != pid)
+                        if inner_lost else 0
+                    )
+                    drop_counts[rpos[pid]] = cross_count + extra
+        spos = {s: j for j, s in enumerate(senders)}
+        sets_cell: List[Dict[ProcessId, AbstractSet[ProcessId]]] = []
+
+        def materialise() -> Dict[ProcessId, AbstractSet[ProcessId]]:
+            # Shared by the mapping interface and ``pairs`` below —
+            # whichever view resolves first builds the sets (and the
+            # per-round bookkeeping) exactly once.
+            if not sets_cell:
+                by_round = self._losses_by_round.setdefault(round_index, {})
+                out: Dict[ProcessId, AbstractSet[ProcessId]] = {}
+                for local, members in groups.items():
+                    cross = senders_fs - frozenset(local)
+                    inner_map = inner_maps.get(local)
+                    for pid in members:
+                        inner_lost = inner_map[pid] if inner_map else None
+                        if inner_lost:
+                            lost: AbstractSet[ProcessId] = set(cross)
+                            lost.update(s for s in inner_lost if s != pid)
+                        else:
+                            lost = cross
+                        out[pid] = lost
+                        by_round[pid] = set(lost)
+                sets_cell.append(out)
+            return sets_cell[0]
+
+        def pairs():
+            sets = materialise()
+            rows: List[int] = []
+            cols: List[int] = []
+            for k, pid in enumerate(receivers_t):
+                for s in sets[pid]:
+                    rows.append(k)
+                    cols.append(spos[s])
+            return (
+                _np.asarray(rows, dtype=_np.intp),
+                _np.asarray(cols, dtype=_np.intp),
+            )
+
+        return ArrayRoundLosses(
+            receivers_t, drop_counts, materialise, pairs=pairs
+        )
 
     # -- CollisionDetector ----------------------------------------------------
     def advise(
@@ -260,9 +370,101 @@ class MultihopLayer(LossAdversary, CollisionDetector):
                 )
         return advice
 
+    def _neighborhood_arrays(self, indices: Sequence[ProcessId]):
+        """Closed-neighbourhood incidence matrix + positions for ``indices``.
+
+        Cached per index tuple (the engine passes the same tuple every
+        round), so the graph is scanned once per execution.
+        """
+        cached = self._nbhd_cache
+        if cached is not None and cached[0] is indices:
+            return cached[1], cached[2]
+        pos = {pid: k for k, pid in enumerate(indices)}
+        mat = _np.zeros((len(indices), len(indices)), dtype=_np.int64)
+        graph = self.network.graph
+        for k, pid in enumerate(indices):
+            mat[k, k] = 1
+            for s in graph.neighbors(pid):
+                j = pos.get(s)
+                if j is not None:
+                    mat[k, j] = 1
+        self._nbhd_cache = (indices, mat, pos)
+        return mat, pos
+
+    def advise_array(
+        self,
+        round_index: int,
+        broadcasters: int,
+        counts,
+        indices: Sequence[ProcessId],
+    ) -> List[CollisionAdvice]:
+        """Vectorised neighbourhood-local advice for the array kernel.
+
+        The per-receiver local broadcaster counts ``c_i`` are one
+        incidence-matrix product; the Properties 4-9 obligations then
+        resolve elementwise with *per-element* ``c`` (unlike the
+        single-hop detectors, every receiver has its own broadcaster
+        count).  Free choices go to the policy per unconstrained process
+        in index order — exactly the calls dict :meth:`advise` makes —
+        so seeded policies consume their streams identically on both
+        paths.
+        """
+        if _np is None:  # pragma: no cover - engine gates on numpy first
+            return super().advise_array(
+                round_index, broadcasters, counts, indices
+            )
+        senders = self._senders_by_round.get(round_index, [])
+        mat, pos = self._neighborhood_arrays(indices)
+        sender_mask = _np.zeros(len(indices), dtype=_np.int64)
+        for s in senders:
+            k = pos.get(s)
+            if k is not None:
+                sender_mask[k] = 1
+        c_local = mat @ sender_mask
+        over = counts > c_local
+        if over.any():
+            k = int(over.argmax())
+            # Mirror must_report_collision's own validation, first
+            # offender in index order like the dict path.
+            raise ValueError(
+                f"invalid transmission data c={int(c_local[k])}, "
+                f"t={int(counts[k])}"
+            )
+        level = self.completeness
+        if level is Completeness.FULL:
+            obliged = counts < c_local
+        elif level is Completeness.MAJORITY:
+            obliged = (c_local > 0) & (2 * counts <= c_local)
+        elif level is Completeness.HALF:
+            obliged = (c_local > 0) & (2 * counts < c_local)
+        elif level is Completeness.ZERO:
+            obliged = (c_local > 0) & (counts == 0)
+        else:
+            obliged = _np.zeros(len(indices), dtype=bool)
+        if accuracy_active(self.accuracy, round_index, self.r_acc):
+            null_mask = (counts == c_local) & ~obliged
+        else:
+            null_mask = _np.zeros(len(indices), dtype=bool)
+        free_choice = self.policy.free_choice
+        ob_list = obliged.tolist()
+        null_list = null_mask.tolist()
+        c_list = c_local.tolist()
+        t_list = counts.tolist()
+        out: List[CollisionAdvice] = []
+        append = out.append
+        for k, pid in enumerate(indices):
+            if ob_list[k]:
+                append(CollisionAdvice.COLLISION)
+            elif null_list[k]:
+                append(CollisionAdvice.NULL)
+            else:
+                append(free_choice(round_index, pid, c_list[k], t_list[k]))
+        return out
+
     def reset(self) -> None:
         self._senders_by_round = {}
         self._losses_by_round = {}
+        self._nbhd_cache = None
         if self.inner is not None:
             self.inner.reset()
         self.policy.reset()

@@ -356,8 +356,11 @@ def test_churned_executions_identical_kernel_on_and_off(policy):
 
 @needs_numpy
 def test_kernel_runs_on_churn_free_prefix_only():
-    """The fallback gate: rounds before any churn vectorise, rounds
-    with events or departed pids take the scalar reference path."""
+    """The fallback gate: only rounds with a pending membership event
+    (a leave or join firing) take the scalar reference path; rounds
+    where pids are merely absent after an earlier leave ride the
+    kernel — the loss adversary is consulted over the full index set
+    on both paths, so absence never shifts its randomness."""
 
     def engine_for(churn):
         env = Environment(
@@ -380,18 +383,19 @@ def test_kernel_runs_on_churn_free_prefix_only():
     engine.run(8, until_all_decided=False)
     assert engine.kernel_rounds == 8
 
-    # A departure at round 4 (never rejoined): rounds 1-3 vectorise,
-    # round 4 (events) and rounds 5-8 (departed pid) fall back.
+    # A departure at round 4 (never rejoined): only the event round
+    # falls back — rounds with the pid absent still vectorise.
     engine = engine_for(ScheduledChurn.at(leaves={4: [0]}))
     engine.run(8, until_all_decided=False)
-    assert engine.kernel_rounds == 3
+    assert engine.kernel_rounds == 7  # all but round 4
 
-    # Leave then rejoin: the kernel resumes once membership is whole.
+    # Leave then rejoin: both event rounds fall back, the absent-pid
+    # round in between rides the kernel.
     engine = engine_for(
         ScheduledChurn.at(leaves={3: [0]}, joins={5: [0]})
     )
     engine.run(8, until_all_decided=False)
-    assert engine.kernel_rounds == 2 + 3  # rounds 1-2 and 6-8
+    assert engine.kernel_rounds == 2 + 1 + 3  # rounds 1-2, 4, and 6-8
 
 
 # ----------------------------------------------------------------------
