@@ -30,7 +30,9 @@ pool (``--in-process`` is the serial escape hatch), and the artifact
 publishes ``worker_reuse`` — distinct worker pids vs cells dispatched —
 so a regression to spawn-per-cell is visible in the JSON.
 ``--compare-timeout-paths N`` additionally wall-clocks the loop at
-width 1 against width N under deadlines and publishes the comparison.
+width 1 against width N under deadlines and publishes the comparison;
+``--fault-overhead`` measures the Faultline injection hooks'
+installed-but-idle cost (CI gates the ratio below 3%).
 """
 
 from __future__ import annotations
@@ -131,6 +133,108 @@ def compare_timeout_paths(
     return timings
 
 
+#: The idle plan for ``--fault-overhead``: armed (so every hook runs
+#: the full fire() path — clock tick, rule scan) but matching nothing
+#: the campaign ever visits, so no fault actually fires.
+_IDLE_PLAN_SPEC = {
+    "name": "idle-overhead-probe",
+    "seed": 0,
+    "rules": [
+        {"site": "merge", "match": "no-such-shard",
+         "action": {"kind": "error"}},
+    ],
+}
+
+
+def fault_overhead(quick: bool, base_seed: int, reps: int = 3) -> dict:
+    """Measure the Faultline hooks' installed-but-idle overhead.
+
+    Runs the grid in-process (no pool spawn noise) with no plan and
+    with an armed-but-never-firing plan, in fresh throwaway stores.
+    With no plan the hooks are a ``None``-check; with the idle plan
+    every injection site pays the full clock-tick + rule-scan path.
+
+    The true overhead (sub-microsecond per visit, a few hundred visits
+    per quick grid) sits far below the wall-clock noise floor of a
+    shared CI host, so the **gated** ratio is assembled from
+    variance-controlled factors: the exact number of injection-point
+    visits the idle leg performed (read off the plan's
+    :class:`~repro.testing.faultline.FaultClock`) times the measured
+    per-visit cost (a tight microbenchmark of the same ``fire()``
+    path), over the campaign's min-of-reps wall clock.  The raw
+    two-leg wall clocks are published alongside as
+    ``wallclock_ratio`` for eyeballing; gating on that directly would
+    only measure the host's scheduler.
+    """
+    import timeit
+
+    from repro.testing.faultline import FaultPlan
+
+    axes = dict(grid_axes(quick), trial=list(range(8)))
+    tmp = tempfile.mkdtemp(prefix="repro-e18-faultline-")
+    results: dict = {"reps": reps}
+    best: dict = {}
+    visits = None
+
+    def one_pass(label: str, rep: str) -> float:
+        nonlocal visits
+        db = os.path.join(tmp, f"{label}-{rep}.db")
+        plan = (
+            FaultPlan.from_spec(_IDLE_PLAN_SPEC)
+            if label == "idle" else None
+        )
+        with CampaignRunner(
+            consensus_sweep_cell,
+            db_path=db,
+            base_seed=base_seed,
+            in_process=True,
+            fault_plan=plan,
+        ) as runner:
+            start = time.perf_counter()
+            outcomes = runner.resume(**axes)
+            elapsed = time.perf_counter() - start
+        if plan is not None:
+            if plan.log:
+                raise RuntimeError(
+                    f"idle overhead plan fired {plan.log!r}; the "
+                    "measurement is void"
+                )
+            visits = plan.clock.total()
+        results.setdefault(f"{label}_cells", len(outcomes))
+        return elapsed
+
+    try:
+        for label in ("absent", "idle"):
+            one_pass(label, "warmup")  # caches, imports, page-ins
+        for rep in range(reps):
+            # Alternate the legs so host drift hits both equally.
+            for label in ("absent", "idle"):
+                elapsed = one_pass(label, str(rep))
+                best[label] = min(best.get(label, elapsed), elapsed)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    probe = FaultPlan.from_spec(_IDLE_PLAN_SPEC)
+    per_visit = min(timeit.repeat(
+        lambda: probe.fire("sqlite", "record-cell"),
+        number=20000, repeat=5,
+    )) / 20000
+
+    results["absent_seconds"] = best["absent"]
+    results["idle_seconds"] = best["idle"]
+    results["wallclock_ratio"] = (
+        best["idle"] / best["absent"] - 1.0
+        if best["absent"] > 0 else None
+    )
+    results["hook_visits"] = visits
+    results["per_visit_seconds"] = per_visit
+    results["overhead_ratio"] = (
+        (visits * per_visit) / best["absent"]
+        if best["absent"] > 0 else None
+    )
+    return results
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -160,6 +264,12 @@ def main() -> int:
                         help="per-cell budget for the comparison legs "
                              "(default 60s — generous, so the runs "
                              "measure dispatch, not timeouts)")
+    parser.add_argument("--fault-overhead", action="store_true",
+                        help="also measure the Faultline hooks' "
+                             "installed-but-idle overhead (min-of-reps, "
+                             "in-process legs with and without an armed "
+                             "plan) and publish the ratio in the "
+                             "artifact; CI gates it below 3%%")
     parser.add_argument("--out", default=None,
                         help="write the bench JSON artifact here")
     parser.add_argument("--report-out", default=None,
@@ -222,6 +332,19 @@ def main() -> int:
             f"{comparison['reports_identical']}"
         )
 
+    overhead = None
+    if args.fault_overhead:
+        overhead = fault_overhead(args.quick, args.base_seed)
+        print(
+            f"fault-overhead: {overhead['hook_visits']} hook visits x "
+            f"{overhead['per_visit_seconds'] * 1e6:.2f}us over "
+            f"{overhead['absent_seconds']:.3f}s -> "
+            f"{overhead['overhead_ratio'] * 100.0:.3f}% "
+            f"(wallclock legs: absent {overhead['absent_seconds']:.3f}s "
+            f"vs idle {overhead['idle_seconds']:.3f}s, "
+            f"{overhead['wallclock_ratio'] * 100.0:+.2f}% informational)"
+        )
+
     if args.out:
         artifact = {
             "benchmark": "e18_campaign",
@@ -238,6 +361,8 @@ def main() -> int:
         }
         if comparison is not None:
             artifact["timeout_paths"] = comparison
+        if overhead is not None:
+            artifact["fault_overhead"] = overhead
         with open(args.out, "w") as fh:
             json.dump(artifact, fh, indent=2, sort_keys=True)
             fh.write("\n")

@@ -31,6 +31,12 @@ Usage::
     python -m repro campaign merge --out merged.db \\
         campaign.shard0-of-2.db campaign.shard1-of-2.db
     python -m repro campaign --db merged.db --quick --report
+
+    # audit a store's integrity (and heal it: --quarantine demotes
+    # corrupt cells so the next resume re-runs them); report over a
+    # damaged or incomplete store without aborting:
+    python -m repro campaign verify --db campaign.db --quarantine
+    python -m repro campaign report --allow-partial --db campaign.db
 """
 
 from __future__ import annotations
@@ -88,6 +94,51 @@ def _campaign_merge_main(argv: list) -> int:
         "(plus the grid flags the shards ran with)"
     )
     return 0
+
+
+def _campaign_verify_main(argv: list) -> int:
+    """The ``campaign verify`` subcommand: audit (and heal) a store."""
+    from .core.errors import ConfigurationError
+    from .experiments.verify import format_findings, verify_campaign_store
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro campaign verify",
+        description=(
+            "Audit one campaign store: PRAGMA integrity_check, schema "
+            "and metadata validation, per-cell identity re-derivation "
+            "(each row's coordinate tag and seed recomputed from its "
+            "stored params must match exactly), payload parseability, "
+            "and round_summaries hygiene (orphaned or stale rows).  "
+            "With --quarantine, content-corrupt cells are demoted to "
+            "failed (attempts reset, rounds cleared) so the next "
+            "resume re-runs them, identity-corrupt cells are deleted, "
+            "and bad rounds are removed — after which resume + report "
+            "converges back to the clean reference bytes.  Exit 0 when "
+            "the store is clean, 1 when findings were reported.  See "
+            "docs/failure-modes.md for the finding -> action table."
+        ),
+        epilog=(
+            "example: python -m repro campaign verify --db campaign.db "
+            "--quarantine && python -m repro campaign --db campaign.db "
+            "--quick"
+        ),
+    )
+    parser.add_argument("--db", required=True,
+                        help="the campaign store to audit")
+    parser.add_argument("--quarantine", action="store_true",
+                        help="demote/remove corrupt rows so the next "
+                             "resume repairs the campaign (default: "
+                             "report only, write nothing)")
+    args = parser.parse_args(argv)
+    try:
+        summary = verify_campaign_store(
+            args.db, quarantine=args.quarantine
+        )
+    except ConfigurationError as exc:
+        print(f"verify rejected: {exc}", file=sys.stderr)
+        return 2
+    print(format_findings(summary))
+    return 0 if summary["ok"] else 1
 
 
 def _campaign_main(argv: list) -> int:
@@ -201,8 +252,23 @@ def _campaign_main(argv: list) -> int:
                              "table over the sqlite round_summaries "
                              "(per-cell status, attempts, rounds, mean "
                              "broadcast count) instead of JSON")
+    parser.add_argument("--allow-partial", action="store_true",
+                        help="with report mode: degrade gracefully over "
+                             "an incomplete or damaged store — missing "
+                             "and corrupt cells are skipped and listed "
+                             "under a 'partial' key instead of aborting "
+                             "(a complete store reports identical bytes "
+                             "either way)")
+    parser.add_argument("--stall-timeout", type=float, default=None,
+                        help="arm the dispatcher's stall watchdog: a "
+                             "busy worker silent for this many seconds "
+                             "(no heartbeat) is killed and replaced and "
+                             "its cell checkpointed failed — retryable "
+                             "on resume — even without --cell-timeout")
     if argv and argv[0] == "merge":
         return _campaign_merge_main(argv[1:])
+    if argv and argv[0] == "verify":
+        return _campaign_verify_main(argv[1:])
     shard_word = bool(argv) and argv[0] == "shard"
     if shard_word:
         argv = argv[1:]
@@ -212,6 +278,9 @@ def _campaign_main(argv: list) -> int:
     if args.table and not args.report:
         parser.error("--table is a report view; use 'campaign report "
                      "--table' (or add --report)")
+    if args.allow_partial and not args.report:
+        parser.error("--allow-partial is a report view; use 'campaign "
+                     "report --allow-partial' (or add --report)")
     if (args.shard_index is None) != (args.shard_of is None):
         parser.error("--index and --of go together: a shard is one "
                      "host's slice of a K-way split")
@@ -280,7 +349,6 @@ def _campaign_main(argv: list) -> int:
             extra_params={"sqlite_db": args.db}, in_process=True,
             shard_index=shard_index, shard_count=shard_count,
         )
-        render = runner.report_table if args.table else runner.report
         axes = dict(
             n=ns, detector=detectors, loss_rate=loss_rates, trial=seeds,
             values=[values], record_policy=["summary"],
@@ -288,7 +356,12 @@ def _campaign_main(argv: list) -> int:
         if e19:
             axes["churn_rate"] = churn_rates
             axes["topology"] = topologies
-        print(render(**axes))
+        if args.table:
+            print(runner.report_table(**axes))
+        else:
+            print(runner.report(
+                allow_partial=args.allow_partial, **axes
+            ))
         return 0
 
     if e19:
@@ -301,6 +374,7 @@ def _campaign_main(argv: list) -> int:
             max_retries=args.max_retries, max_cells=args.max_cells,
             in_process=args.in_process,
             shard_index=shard_index, shard_count=shard_count,
+            stall_timeout=args.stall_timeout,
         )
     else:
         tables = run_campaign_matrix(
@@ -310,6 +384,7 @@ def _campaign_main(argv: list) -> int:
             processes=args.processes, max_retries=args.max_retries,
             max_cells=args.max_cells, in_process=args.in_process,
             shard_index=shard_index, shard_count=shard_count,
+            stall_timeout=args.stall_timeout,
         )
     for table in tables:
         print(table.render())

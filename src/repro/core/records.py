@@ -24,8 +24,10 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import hashlib
 import json
 import sqlite3
+import time
 from typing import (
     Any,
     Dict,
@@ -180,6 +182,17 @@ def _pid_from_key(key: str) -> Any:
         return key
 
 
+#: Substrings marking an ``sqlite3.OperationalError`` as transient —
+#: another writer holds the lock or the disk hiccuped — and therefore
+#: worth a seeded-backoff retry rather than an immediate abort.
+_TRANSIENT_SQLITE_MARKERS = ("locked", "busy", "disk is full")
+
+
+def _is_transient_sqlite(exc: sqlite3.OperationalError) -> bool:
+    text = str(exc).lower()
+    return any(marker in text for marker in _TRANSIENT_SQLITE_MARKERS)
+
+
 class SqliteSink:
     """A round observer backed by one sqlite ``campaign.db``.
 
@@ -195,11 +208,26 @@ class SqliteSink:
     that the campaign layer validates before mixing data from two runs.
 
     Concurrency: the database is opened in WAL journal mode with a busy
-    timeout, so parallel campaign workers (each holding its *own* sink —
-    sqlite connections must never cross process boundaries) can append
-    round summaries to one shared ``campaign.db`` while the parent
-    checkpoints cell rows.  Each write commits immediately: a killed
-    campaign loses at most the in-flight row.
+    timeout (both the connect-time handler and an explicit
+    ``PRAGMA busy_timeout``), so parallel campaign workers (each holding
+    its *own* sink — sqlite connections must never cross process
+    boundaries) can append round summaries to one shared ``campaign.db``
+    while the parent checkpoints cell rows.  Each write commits
+    immediately: a killed campaign loses at most the in-flight row.
+
+    Resilience: every store write runs inside a guarded retry loop —
+    a *transient* ``OperationalError`` (``database is locked``/``busy``,
+    ``disk is full``) is retried with seeded exponential backoff and
+    jitter, and only after the budget is exhausted does the sink raise
+    a :class:`~repro.core.errors.ConfigurationError` explaining the
+    likely cause (two hosts pointed at one store path) instead of a raw
+    sqlite traceback.  The retry delays are derived from
+    ``SHA-256(path | operation | attempt)``, so a replayed campaign
+    backs off identically.  When a
+    :class:`~repro.testing.faultline.FaultPlan` is active (``fault_plan=``
+    kwarg, the process-installed plan, or ``REPRO_FAULTLINE``) its
+    ``sqlite`` site fires inside the retried closure, so injected
+    transient errors exercise exactly the production retry machinery.
 
     Like :class:`JsonlSink`, the connection opens lazily on first use,
     and the sink is a context manager.  Writing rounds requires a
@@ -207,11 +235,18 @@ class SqliteSink:
     (the campaign runner, report generators) may omit it.
     """
 
+    #: Attempts per guarded store write, first try included.
+    MAX_SQLITE_ATTEMPTS: int = 5
+
+    #: Base of the exponential backoff between retries (seconds).
+    SQLITE_BACKOFF: float = 0.02
+
     def __init__(
         self,
         path: str,
         cell_seed: Optional[int] = None,
         busy_timeout: float = 30.0,
+        fault_plan: Optional[Any] = None,
     ) -> None:
         self.path = path
         self.cell_seed = None if cell_seed is None else int(cell_seed)
@@ -219,6 +254,69 @@ class SqliteSink:
         self._conn: Optional[sqlite3.Connection] = None
         self._closed = False
         self.rounds_written = 0
+        self._fault_plan = fault_plan
+        self._plan_cache: Optional[Any] = None
+        self._plan_resolved = False
+
+    # -- fault injection and transient-error retry ---------------------
+    def _plan(self) -> Optional[Any]:
+        """Resolve the active fault plan once, lazily.
+
+        Imported lazily — :mod:`repro.testing` is a leaf consumer of
+        :mod:`repro.core`, and the common no-plan case must not load it
+        on the hot write path more than once per sink.
+        """
+        if not self._plan_resolved:
+            from ..testing import faultline
+
+            self._plan_cache = faultline.resolve(self._fault_plan)
+            self._plan_resolved = True
+        return self._plan_cache
+
+    def _backoff_delay(self, op: str, attempt: int) -> float:
+        """Seeded exponential backoff with jitter for retry ``attempt``.
+
+        Deterministic per (store path, operation, attempt) so a
+        replayed campaign sleeps the same schedule; the jitter factor
+        in ``[0.5, 1.5)`` still de-synchronises distinct writers.
+        """
+        digest = hashlib.sha256(
+            f"{self.path}|{op}|{attempt}".encode()
+        ).digest()
+        jitter = 0.5 + int.from_bytes(digest[:8], "big") / 2 ** 64
+        return min(self.SQLITE_BACKOFF * (2 ** (attempt - 1)), 1.0) * jitter
+
+    def _guarded(self, op: str, fn: Any) -> Any:
+        """Run one store operation under the transient-error retry loop.
+
+        ``fn`` must be a closure over the *whole* operation (connect
+        included — a lock can bite the opening PRAGMAs too).  A
+        non-transient ``OperationalError`` propagates untouched; a
+        transient one is retried ``MAX_SQLITE_ATTEMPTS`` times and then
+        converted to a :class:`ConfigurationError` naming the usual
+        suspect, because a lock that outlives the whole backoff budget
+        is a deployment problem, not a hiccup.
+        """
+        plan = self._plan()
+        last_exc: Optional[sqlite3.OperationalError] = None
+        for attempt in range(1, self.MAX_SQLITE_ATTEMPTS + 1):
+            try:
+                if plan is not None:
+                    plan.sqlite_check(op)
+                return fn()
+            except sqlite3.OperationalError as exc:
+                if not _is_transient_sqlite(exc):
+                    raise
+                last_exc = exc
+                if attempt < self.MAX_SQLITE_ATTEMPTS:
+                    time.sleep(self._backoff_delay(op, attempt))
+        raise ConfigurationError(
+            f"sqlite store {self.path!r} still failing after "
+            f"{self.MAX_SQLITE_ATTEMPTS} attempts ({last_exc}) — another "
+            "process or host is holding this database (two campaigns or "
+            "two shard hosts pointed at one path, or a shared/NFS mount); "
+            "give each run its own store path"
+        ) from last_exc
 
     # -- connection lifecycle ------------------------------------------
     def _connect(self) -> sqlite3.Connection:
@@ -230,6 +328,14 @@ class SqliteSink:
             conn = sqlite3.connect(self.path, timeout=self.busy_timeout)
             conn.execute("PRAGMA journal_mode=WAL")
             conn.execute("PRAGMA synchronous=NORMAL")
+            # The connect-time ``timeout`` installs a busy handler for
+            # this Python wrapper; the PRAGMA makes the same budget
+            # explicit at the engine level so *every* statement —
+            # including ones issued by ATTACH-ed merge work — waits for
+            # a lock instead of failing instantly.
+            conn.execute(
+                f"PRAGMA busy_timeout={int(self.busy_timeout * 1000)}"
+            )
             conn.executescript(_CAMPAIGN_SCHEMA)
             # Migrate pre-`attempts` stores in place: every checkpointed
             # cell in an old store ran exactly once as far as the retry
@@ -275,29 +381,34 @@ class SqliteSink:
                 "SqliteSink needs a cell_seed to file round summaries "
                 "under; construct it as SqliteSink(path, cell_seed=...)"
             )
-        conn = self._connect()
-        conn.execute(
-            "INSERT OR REPLACE INTO round_summaries "
-            "(cell_seed, round, broadcast_count, crashed_during, "
-            "decided_during) VALUES (?, ?, ?, ?, ?)",
-            (
-                self.cell_seed,
-                artifact.round,
-                artifact.broadcast_count,
-                json.dumps(
-                    sorted(artifact.crashed_during, key=repr), default=str
-                ),
-                json.dumps(
-                    {
-                        str(pid): value
-                        for pid, value in artifact.decided_during.items()
-                    },
-                    sort_keys=True,
-                    default=str,
-                ),
+        row = (
+            self.cell_seed,
+            artifact.round,
+            artifact.broadcast_count,
+            json.dumps(
+                sorted(artifact.crashed_during, key=repr), default=str
+            ),
+            json.dumps(
+                {
+                    str(pid): value
+                    for pid, value in artifact.decided_during.items()
+                },
+                sort_keys=True,
+                default=str,
             ),
         )
-        conn.commit()
+
+        def write() -> None:
+            conn = self._connect()
+            conn.execute(
+                "INSERT OR REPLACE INTO round_summaries "
+                "(cell_seed, round, broadcast_count, crashed_during, "
+                "decided_during) VALUES (?, ?, ?, ?, ?)",
+                row,
+            )
+            conn.commit()
+
+        self._guarded("write-round", write)
         self.rounds_written += 1
 
     def clear_rounds(self, cell_seed: int) -> None:
@@ -307,12 +418,15 @@ class SqliteSink:
         rounds streamed by a killed or failed earlier attempt can never
         linger past the new attempt's final round.
         """
-        conn = self._connect()
-        conn.execute(
-            "DELETE FROM round_summaries WHERE cell_seed = ?",
-            (int(cell_seed),),
-        )
-        conn.commit()
+        def write() -> None:
+            conn = self._connect()
+            conn.execute(
+                "DELETE FROM round_summaries WHERE cell_seed = ?",
+                (int(cell_seed),),
+            )
+            conn.commit()
+
+        self._guarded("clear-rounds", write)
 
     def read_summaries(
         self, cell_seed: Optional[int] = None
@@ -381,15 +495,18 @@ class SqliteSink:
         (first run included); the campaign's retry budget reads it back
         to decide whether a ``failed`` cell gets another pass.
         """
-        conn = self._connect()
-        conn.execute(
-            "INSERT OR REPLACE INTO cells "
-            "(cell_tag, cell_seed, cell_index, params, status, payload, "
-            "error, elapsed, attempts) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
-            (tag, int(seed), int(index), params_text, status,
-             payload_text, error, elapsed, int(attempts)),
-        )
-        conn.commit()
+        def write() -> None:
+            conn = self._connect()
+            conn.execute(
+                "INSERT OR REPLACE INTO cells "
+                "(cell_tag, cell_seed, cell_index, params, status, payload, "
+                "error, elapsed, attempts) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (tag, int(seed), int(index), params_text, status,
+                 payload_text, error, elapsed, int(attempts)),
+            )
+            conn.commit()
+
+        self._guarded("record-cell", write)
 
     def get_cells(self) -> Dict[str, Dict[str, Any]]:
         """All checkpointed cells as ``tag -> row`` (elapsed excluded —
@@ -427,13 +544,16 @@ class SqliteSink:
         two campaigns (or two shards of one campaign) can never silently
         mix their rows in one database.
         """
-        conn = self._connect()
-        conn.execute(
-            "INSERT OR REPLACE INTO campaign_meta (key, value) "
-            "VALUES (?, ?)",
-            (key, json.dumps(value, sort_keys=True)),
-        )
-        conn.commit()
+        def write() -> None:
+            conn = self._connect()
+            conn.execute(
+                "INSERT OR REPLACE INTO campaign_meta (key, value) "
+                "VALUES (?, ?)",
+                (key, json.dumps(value, sort_keys=True)),
+            )
+            conn.commit()
+
+        self._guarded("set-meta", write)
 
     def get_meta(self, key: str, default: Any = None) -> Any:
         """Read one store-level fact back (``default`` when unset)."""
@@ -441,6 +561,19 @@ class SqliteSink:
             "SELECT value FROM campaign_meta WHERE key = ?", (key,)
         ).fetchone()
         return default if row is None else json.loads(row[0])
+
+    def fold_wal(self) -> None:
+        """Checkpoint the WAL into the main file and leave WAL mode.
+
+        After this returns, the database is one self-contained file —
+        no ``-wal``/``-shm`` sidecars carry live data — which is what
+        lets :func:`~repro.experiments.campaign.merge_campaign_stores`
+        publish a merged store with a single atomic ``os.replace``.
+        """
+        conn = self._connect()
+        conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        conn.execute("PRAGMA journal_mode=DELETE")
+        conn.commit()
 
     # -- shard merging -------------------------------------------------
     def merge_from(self, source_path: str) -> int:

@@ -59,6 +59,7 @@ from .scenarios import (
     nocf_environment,
     zero_oac_environment,
 )
+from .verify import format_findings, verify_campaign_store
 from .termination import (
     run_alg1_termination,
     run_alg2_value_sweep,
@@ -72,6 +73,7 @@ __all__ = [
     "sweep_grid", "iter_sweep_grid", "cell_seed", "consensus_sweep_cell",
     "CampaignRunner", "CampaignOutcome", "cell_tag",
     "shard_of", "shard_cells", "merge_campaign_stores",
+    "verify_campaign_store", "format_findings",
     "CampaignDispatcher", "CellResult", "execute_cell_job",
     "WorkerPoolError",
     "run_parallel_sweep", "run_campaign_matrix",

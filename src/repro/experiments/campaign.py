@@ -105,6 +105,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import time
 from typing import (
     Any,
     Callable,
@@ -120,6 +121,7 @@ from typing import (
 
 from ..core.errors import ConfigurationError
 from ..core.records import SqliteSink
+from ..testing import faultline
 from .dispatch import CampaignDispatcher, CellResult
 from .harness import SweepCell, SweepRunner, _canonical
 
@@ -268,6 +270,18 @@ class CampaignRunner:
         Optional callback invoked after every completed cell (passed
         through to the dispatcher) — the seam for serving live queries
         while a campaign runs.
+    fault_plan:
+        Optional :class:`~repro.testing.faultline.FaultPlan` threaded
+        through the dispatcher and every store the runner opens.
+        ``None`` falls back to the process-installed plan or the
+        ``REPRO_FAULTLINE`` environment variable; no plan anywhere is
+        the (cheap) common case.
+    stall_timeout:
+        Optional dispatcher stall watchdog in seconds: a busy worker
+        silent for this long (no heartbeat) is killed and replaced and
+        its cell checkpoints ``failed`` — retryable on resume — even
+        with ``cell_timeout`` unset.  Slow-but-heartbeating cells are
+        never touched.
     shard_index, shard_count:
         Distributed sharding: this runner owns shard ``shard_index`` of
         a grid split deterministically across ``shard_count`` hosts
@@ -295,6 +309,8 @@ class CampaignRunner:
         idle_hook: Optional[Callable[[], None]] = None,
         shard_index: int = 0,
         shard_count: int = 1,
+        fault_plan: Optional["faultline.FaultPlan"] = None,
+        stall_timeout: Optional[float] = None,
     ) -> None:
         self.cell_fn = cell_fn
         self.db_path = str(db_path)
@@ -324,7 +340,13 @@ class CampaignRunner:
             cell_timeout=cell_timeout,
             in_process=in_process,
             idle_hook=idle_hook,
+            fault_plan=fault_plan,
+            stall_timeout=stall_timeout,
         )
+        # The dispatcher already resolved kwarg > installed > env; reuse
+        # its answer so the runner's stores consult the same plan.
+        self.fault_plan = self._dispatcher.fault_plan
+        self.stall_timeout = self._dispatcher.stall_timeout
         #: Worker-reuse accounting for the most recent pass that ran
         #: cells: ``{"cells", "distinct_worker_pids", "in_process"}``
         #: (``None`` until a pass dispatches work).  Benchmarks publish
@@ -396,7 +418,7 @@ class CampaignRunner:
         store after the pass, in grid order.
         """
         cells = self.cells(**axes)
-        with SqliteSink(self.db_path) as store:
+        with SqliteSink(self.db_path, fault_plan=self.fault_plan) as store:
             self._check_store_identity(store)
             existing = store.get_cells()
             pending = []
@@ -549,13 +571,22 @@ class CampaignRunner:
 
     # ------------------------------------------------------------------
     def _merge(
-        self, store: SqliteSink, cells: Sequence[SweepCell]
+        self,
+        store: SqliteSink,
+        cells: Sequence[SweepCell],
+        corrupt: Optional[List[int]] = None,
     ) -> List[CampaignOutcome]:
         """Grid-ordered outcomes for every cell present in the store.
 
         Reads *everything* back out of the store — including cells that
         just ran — so a payload always arrives through the same JSON
         round-trip regardless of which pass produced it.
+
+        A stored payload that no longer parses as JSON (torn write,
+        disk corruption) raises :class:`ConfigurationError` pointing at
+        ``campaign verify``; pass a list as ``corrupt`` to instead
+        collect the offending cell indices and skip those cells (the
+        ``report(allow_partial=True)`` path).
         """
         rows = store.get_cells()
         merged = []
@@ -573,13 +604,27 @@ class CampaignRunner:
                     f"but this grid derives seed {cell.seed} — the "
                     "store belongs to a different base_seed/grid"
                 )
+            payload = None
+            if row["payload"] is not None:
+                try:
+                    payload = json.loads(row["payload"])
+                except ValueError as exc:
+                    if corrupt is None:
+                        raise ConfigurationError(
+                            f"campaign db {self.db_path!r} holds a "
+                            f"corrupt payload for cell "
+                            f"{cell_tag(cell)!r} ({exc}) — run `python "
+                            "-m repro campaign verify --db ...` "
+                            "(--quarantine demotes it for retry on the "
+                            "next resume), or report with "
+                            "allow_partial to skip it"
+                        ) from exc
+                    corrupt.append(cell.index)
+                    continue
             merged.append(CampaignOutcome(
                 cell=cell,
                 status=row["status"],
-                payload=(
-                    json.loads(row["payload"])
-                    if row["payload"] is not None else None
-                ),
+                payload=payload,
                 error=row["error"],
                 attempts=row["attempts"],
             ))
@@ -587,43 +632,69 @@ class CampaignRunner:
 
     def outcomes(self, **axes: Iterable[Any]) -> List[CampaignOutcome]:
         """Merged outcomes currently in the store, without running anything."""
-        with SqliteSink(self.db_path) as store:
+        with SqliteSink(self.db_path, fault_plan=self.fault_plan) as store:
             self._check_store_identity(store)
             return self._merge(store, self.cells(**axes))
 
-    def report(self, **axes: Iterable[Any]) -> str:
+    def report(
+        self, allow_partial: bool = False, **axes: Iterable[Any]
+    ) -> str:
         """A canonical JSON report of the campaign's merged outcomes.
 
-        Byte-identical across any interrupt/resume schedule of the same
-        grid, provided every cell completes (``done``/``timed_out``):
-        cell order is grid order, every payload went through the same
-        canonical serialisation, and wall-clock noise (elapsed times)
-        is excluded.  Each cell surfaces its ``attempts`` count, so
-        exhausted retry budgets are visible straight from the report —
-        which also means a *failed* cell's report depends on how many
-        resumes retried it, exactly like its eventual success would.
+        Byte-identical across any interrupt/resume/fault schedule of
+        the same grid, provided every cell completes
+        (``done``/``timed_out``): cell order is grid order, every
+        payload went through the same canonical serialisation, and
+        wall-clock noise (elapsed times) is excluded.  ``attempts``
+        appears only on *failed* cells — how many retries a cell needed
+        before succeeding is infrastructure noise (a worker crash, a
+        transient lock), so surfacing it for ``done`` cells would make
+        the report depend on the fault history it is defined to be
+        independent of; an exhausted retry budget, by contrast, is a
+        result, and stays visible.
+
+        ``allow_partial=True`` degrades gracefully over an incomplete
+        or damaged store: cells missing from the store or holding a
+        corrupt payload are skipped and listed under a ``"partial"``
+        key (omitted when there are no gaps, so a complete store
+        reports identical bytes either way) instead of the default
+        :class:`ConfigurationError` on corruption.
         """
-        merged = self.outcomes(**axes)
-        return json.dumps(
-            {
-                "base_seed": self.base_seed,
-                "cells": [
-                    {
-                        "index": o.cell.index,
-                        "seed": o.cell.seed,
-                        "params": o.params,
-                        "status": o.status,
-                        "payload": o.payload,
-                        "error": o.error,
-                        "attempts": o.attempts,
-                    }
-                    for o in merged
-                ],
-            },
-            sort_keys=True,
-            default=str,
-            indent=1,
-        )
+        cells = self.cells(**axes)
+        corrupt: Optional[List[int]] = [] if allow_partial else None
+        with SqliteSink(self.db_path, fault_plan=self.fault_plan) as store:
+            self._check_store_identity(store)
+            merged = self._merge(store, cells, corrupt=corrupt)
+        entries = []
+        for o in merged:
+            entry: Dict[str, Any] = {
+                "index": o.cell.index,
+                "seed": o.cell.seed,
+                "params": o.params,
+                "status": o.status,
+                "payload": o.payload,
+                "error": o.error,
+            }
+            if o.status == "failed":
+                entry["attempts"] = o.attempts
+            entries.append(entry)
+        doc: Dict[str, Any] = {
+            "base_seed": self.base_seed,
+            "cells": entries,
+        }
+        if allow_partial:
+            present = {o.cell.index for o in merged}
+            skipped = set(corrupt or ())
+            missing = [
+                c.index for c in cells
+                if c.index not in present and c.index not in skipped
+            ]
+            if missing or corrupt:
+                doc["partial"] = {
+                    "missing": missing,
+                    "corrupt": sorted(corrupt or ()),
+                }
+        return json.dumps(doc, sort_keys=True, default=str, indent=1)
 
     def report_table(self, **axes: Iterable[Any]) -> str:
         """An aligned-column table over the store's ``round_summaries``.
@@ -642,7 +713,7 @@ class CampaignRunner:
         answers "how did the campaign go" without scanning the rows.
         """
         cells = self.cells(**axes)
-        with SqliteSink(self.db_path) as store:
+        with SqliteSink(self.db_path, fault_plan=self.fault_plan) as store:
             self._check_store_identity(store)
             merged = self._merge(store, cells)
             aggregates = store.round_aggregates()
@@ -723,6 +794,15 @@ def merge_campaign_stores(
     grid, because every payload was canonically serialised on its way
     into its shard and cell identity (tag, seed, index) is derived from
     full-grid enumeration on every host.
+
+    The merge is **atomic at the filesystem level**: rows are folded
+    into a ``<out_path>.tmp`` sidecar, the WAL is checkpointed into it
+    so it is one self-contained file, and only then does a single
+    ``os.replace`` publish it as ``out_path``.  A merge killed at any
+    instant — SIGKILL included — therefore leaves either no target at
+    all or the complete merged store, never a half-written database;
+    the deterministic sidecar name lets the next run (and this one's
+    cleanup) sweep any stray ``.tmp`` remnants.
 
     ``out_path`` must not already exist unless ``force`` is set (the
     stale target plus its WAL sidecars are then removed first).
@@ -809,12 +889,45 @@ def merge_campaign_stores(
         )
 
     total = 0
-    with SqliteSink(out_path) as out:
-        for info in sorted(infos, key=lambda i: i["index"]):
-            total += out.merge_from(info["path"])
-        out.set_meta("base_seed", base_seeds[0])
-        out.set_meta("shard", {"count": 1, "index": 0})
-        out.set_meta("merged_from", k)
+    plan = faultline.resolve(None)
+    tmp_path = out_path + ".tmp"
+    # A merge killed mid-flight leaves its sidecar behind under this
+    # deterministic name; sweep any such remnant (WAL sidecars too)
+    # before starting, so reruns never trip over a dead merge.
+    for suffix in ("", "-wal", "-shm"):
+        stale = tmp_path + suffix
+        if os.path.exists(stale):
+            os.remove(stale)
+    try:
+        with SqliteSink(tmp_path) as out:
+            for info in sorted(infos, key=lambda i: i["index"]):
+                if plan is not None:
+                    action = plan.fire("merge", f"shard:{info['index']}")
+                    if action is not None:
+                        kind = action.get("kind")
+                        if kind == "sleep":
+                            time.sleep(
+                                float(action.get("seconds", 0.05))
+                            )
+                        elif kind == "error":
+                            raise ConfigurationError(
+                                "injected merge failure at shard "
+                                f"{info['index']}"
+                            )
+                total += out.merge_from(info["path"])
+            out.set_meta("base_seed", base_seeds[0])
+            out.set_meta("shard", {"count": 1, "index": 0})
+            out.set_meta("merged_from", k)
+            # Fold the WAL so the rename moves one complete database,
+            # not a main file whose recent history lives in sidecars
+            # os.replace would leave behind.
+            out.fold_wal()
+        os.replace(tmp_path, out_path)
+    finally:
+        for suffix in ("", "-wal", "-shm"):
+            stray = tmp_path + suffix
+            if os.path.exists(stray):
+                os.remove(stray)
     return {
         "base_seed": base_seeds[0], "shards": k, "cells": total,
         "path": out_path,

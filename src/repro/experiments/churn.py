@@ -189,6 +189,7 @@ def run_churn_campaign(
     in_process: bool = False,
     shard_index: int = 0,
     shard_count: int = 1,
+    stall_timeout: Optional[float] = None,
 ) -> List[Table]:
     """E19: agreement quality vs churn rate, at campaign scale.
 
@@ -220,6 +221,7 @@ def run_churn_campaign(
             seeds, base_seed, values, cell_timeout, processes,
             max_retries, max_cells, in_process=in_process,
             shard_index=shard_index, shard_count=shard_count,
+            stall_timeout=stall_timeout,
             throwaway=throwaway is not None,
         )
     finally:
@@ -244,6 +246,7 @@ def _churn_campaign_tables(
     in_process: bool = False,
     shard_index: int = 0,
     shard_count: int = 1,
+    stall_timeout: Optional[float] = None,
     throwaway: bool = False,
 ) -> List[Table]:
     axes = dict(
@@ -267,6 +270,7 @@ def _churn_campaign_tables(
         in_process=in_process,
         shard_index=shard_index,
         shard_count=shard_count,
+        stall_timeout=stall_timeout,
     ) as runner:
         outcomes = runner.resume(max_cells=max_cells, **axes)
 

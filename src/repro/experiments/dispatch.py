@@ -59,6 +59,21 @@ Contract highlights:
   replacements alike).  The campaign runner points it at
   ``store.disconnect``, making this the single place the "never fork
   with a live sqlite connection" invariant is enforced.
+* **Stall watchdog** — with ``stall_timeout`` set, busy workers send
+  periodic heartbeats over their existing result pipes; a worker that
+  goes silent past the timeout (SIGSTOPped, wedged in GIL-holding C
+  code, swapped to death) is escalated terminate→kill and replaced,
+  and its cell checkpoints ``failed`` (so a later resume retries it)
+  even when no ``cell_timeout`` is armed.  A slow-but-alive cell keeps
+  heartbeating and is never touched — slowness is ``cell_timeout``'s
+  business, silence is the watchdog's.
+* **Fault injection** — when a
+  :class:`~repro.testing.faultline.FaultPlan` is active (``fault_plan=``
+  kwarg or the ``REPRO_FAULTLINE`` environment variable) the loop
+  consults it at its injection sites: worker spawn (spawn failures),
+  job dispatch (SIGKILL/SIGSTOP mid-cell), cell execution (slow
+  cells), and the result reply (pipe EOF).  With no plan active every
+  site is a ``None``-check.
 """
 
 from __future__ import annotations
@@ -69,6 +84,8 @@ import multiprocessing
 import os
 import pickle
 import selectors
+import signal
+import threading
 import time
 import warnings
 from typing import (
@@ -82,6 +99,9 @@ from typing import (
     Tuple,
 )
 
+from ..core.errors import ConfigurationError
+from ..testing import faultline
+
 #: Grace period before a terminate escalates to kill.
 TERM_GRACE: float = 5.0
 
@@ -90,6 +110,11 @@ MAX_SPAWN_DEATHS: int = 5
 
 #: Base of the exponential backoff between doomed respawns (seconds).
 RESPAWN_BACKOFF: float = 0.05
+
+#: The heartbeat message busy workers send when the stall watchdog is
+#: armed.  A 1-tuple, so it can never be confused with the 6-tuple
+#: result protocol.
+_HEARTBEAT: Tuple[str] = ("__heartbeat__",)
 
 
 class WorkerPoolError(RuntimeError):
@@ -163,7 +188,13 @@ def _noop_worker() -> None:
 # ----------------------------------------------------------------------
 # The worker side of the pipe protocol
 # ----------------------------------------------------------------------
-def _dispatch_worker(conn, fn, extra: Dict[str, Any]) -> None:
+def _dispatch_worker(
+    conn,
+    fn,
+    extra: Dict[str, Any],
+    fault_spec: Optional[Dict[str, Any]] = None,
+    heartbeat_interval: Optional[float] = None,
+) -> None:
     """Persistent pool worker: loop over jobs fed by the parent.
 
     Protocol: the parent sends ``(cell_index, params, seed)`` tuples,
@@ -178,12 +209,42 @@ def _dispatch_worker(conn, fn, extra: Dict[str, Any]) -> None:
     An overrun worker is simply terminated by the parent — no
     cooperation required — and a fresh worker takes its place.
 
+    When ``heartbeat_interval`` is set (the parent armed its stall
+    watchdog) a daemon thread sends :data:`_HEARTBEAT` over the same
+    pipe while a job is running, serialised against the result send by
+    a lock.  The beats stop with the process — SIGSTOP, a wedged
+    GIL-holding extension, an OOM kill all silence them — which is
+    exactly the signal the parent's watchdog keys on.
+
+    ``fault_spec`` reconstructs this process's
+    :class:`~repro.testing.faultline.FaultPlan` (fresh clocks — its
+    sites are keyed per cell, not per process) and installs it as the
+    ambient plan so the cell function's own ``SqliteSink`` picks it up.
+
     Sibling workers fork-inherit the parent's end of this worker's
     pipe, so a hard-killed parent (SIGKILL, OOM) never produces an EOF
     here; the recv poll therefore watches for re-parenting and exits
     when the parent is gone, so idle workers can't outlive a killed
     campaign as orphans.
     """
+    plan = None
+    if fault_spec is not None:
+        plan = faultline.FaultPlan.from_spec(fault_spec)
+        faultline.install(plan)
+    send_lock = threading.Lock()
+    busy_flag = threading.Event()
+    hb_stop = threading.Event()
+    if heartbeat_interval:
+        def _beat() -> None:
+            while not hb_stop.wait(heartbeat_interval):
+                if not busy_flag.is_set():
+                    continue
+                try:
+                    with send_lock:
+                        conn.send(_HEARTBEAT)
+                except Exception:
+                    return  # pipe gone; the main loop is exiting too
+        threading.Thread(target=_beat, daemon=True).start()
     parent_pid = os.getppid()
     try:
         while True:
@@ -197,7 +258,13 @@ def _dispatch_worker(conn, fn, extra: Dict[str, Any]) -> None:
             if job is None:
                 break
             index, params, seed = job
+            fault_key = f"cell:{index}"
+            if plan is not None:
+                action = plan.fire("cell", fault_key)
+                if action is not None and action.get("kind") == "sleep":
+                    time.sleep(float(action.get("seconds", 0.01)))
             exit_after = False
+            busy_flag.set()
             try:
                 status, payload, error, elapsed, exc = execute_cell_job(
                     fn, params, seed, extra
@@ -207,26 +274,48 @@ def _dispatch_worker(conn, fn, extra: Dict[str, Any]) -> None:
                     "failed", None, repr(caught), 0.0, None
                 )
                 exit_after = isinstance(caught, KeyboardInterrupt)
+            if plan is not None and plan.fire("cell-reply", fault_key):
+                # The pipe-EOF injector: die without replying, exactly
+                # like a crash between finishing the cell and sending.
+                conn.close()
+                os._exit(1)
             try:
                 try:
-                    conn.send((index, status, payload, error, elapsed, exc))
+                    with send_lock:
+                        conn.send(
+                            (index, status, payload, error, elapsed, exc)
+                        )
                 except (BrokenPipeError, OSError):
                     break
                 except Exception as send_exc:
                     # Connection.send pickles before writing, so a
                     # pickling failure leaves the pipe clean for the
                     # degraded reply.
-                    conn.send((
-                        index, "failed", None,
-                        f"cell result not picklable: {send_exc!r}",
-                        elapsed, None,
-                    ))
+                    with send_lock:
+                        conn.send((
+                            index, "failed", None,
+                            f"cell result not picklable: {send_exc!r}",
+                            elapsed, None,
+                        ))
             except (BrokenPipeError, OSError):
                 break
+            finally:
+                busy_flag.clear()
             if exit_after:
                 break  # interrupted: let the parent replace this worker
     finally:
+        hb_stop.set()
         conn.close()
+
+
+def _doomed_worker(conn) -> None:
+    """Target for an injected spawn failure: die at birth.
+
+    Closing our pipe end first guarantees the parent observes the death
+    (EOF or a broken send) rather than blocking.
+    """
+    conn.close()
+    os._exit(1)
 
 
 class _Worker:
@@ -254,6 +343,14 @@ class _Worker:
         except Exception:
             pass
         self.proc.terminate()
+        if self.proc.pid is not None:
+            # A SIGSTOPped worker (stall injection, an operator's ^Z)
+            # holds the SIGTERM pending forever; SIGCONT delivers it.
+            # For a running worker this is a no-op.
+            try:
+                os.kill(self.proc.pid, signal.SIGCONT)
+            except (ProcessLookupError, OSError):
+                pass
         self.proc.join(grace)
         if self.proc.is_alive():
             # SIGTERM caught/ignored or the cell is stuck in
@@ -322,6 +419,23 @@ class CampaignDispatcher:
         (base ``respawn_backoff`` seconds); any delivered result resets
         the streak, and an *established* worker's death never counts —
         only a spawn storm trips the breaker.
+    fault_plan:
+        Optional :class:`~repro.testing.faultline.FaultPlan` consulted
+        at the dispatcher's injection sites.  ``None`` falls back to
+        the process-installed plan or the ``REPRO_FAULTLINE``
+        environment variable (see
+        :func:`repro.testing.faultline.resolve`); the common case — no
+        plan anywhere — costs one ``None`` check per site.
+    stall_timeout:
+        Optional stall watchdog budget in seconds.  When set, busy
+        workers heartbeat over their result pipes (interval
+        ``min(1.0, stall_timeout / 4)``) and a worker silent for this
+        long is escalated terminate→kill, replaced, and its cell
+        delivered ``failed`` (retryable on resume) with a
+        deterministic error message.  Independent of ``cell_timeout``:
+        the watchdog catches *silence*, the deadline catches
+        *slowness* — a slow cell that keeps heartbeating is never
+        touched by the watchdog.
 
     The pool is *persistent across* :meth:`run` *calls*: workers spawned
     by one pass park on their pipes and are reused by the next, so a
@@ -340,6 +454,8 @@ class CampaignDispatcher:
         term_grace: float = TERM_GRACE,
         max_spawn_deaths: int = MAX_SPAWN_DEATHS,
         respawn_backoff: float = RESPAWN_BACKOFF,
+        fault_plan: Optional["faultline.FaultPlan"] = None,
+        stall_timeout: Optional[float] = None,
     ) -> None:
         self.cell_fn = cell_fn
         self.extra_params = dict(extra_params or {})
@@ -353,6 +469,20 @@ class CampaignDispatcher:
         self.term_grace = term_grace
         self.max_spawn_deaths = max(1, int(max_spawn_deaths))
         self.respawn_backoff = float(respawn_backoff)
+        self.fault_plan = faultline.resolve(fault_plan)
+        self._worker_fault_spec = (
+            None if self.fault_plan is None else self.fault_plan.to_spec()
+        )
+        if stall_timeout is not None:
+            stall_timeout = float(stall_timeout)
+            if stall_timeout <= 0:
+                raise ConfigurationError(
+                    f"stall_timeout must be positive, got {stall_timeout}"
+                )
+        self.stall_timeout = stall_timeout
+        self._heartbeat_interval = (
+            None if stall_timeout is None else min(1.0, stall_timeout / 4.0)
+        )
         self._spawn_death_streak = 0
         self._in_process = bool(in_process)
         # An explicitly in-process dispatcher needs no capability probe.
@@ -470,7 +600,12 @@ class CampaignDispatcher:
 
     def _run_in_process(self, cells, on_result, hook) -> int:
         completed = 0
+        plan = self.fault_plan
         for cell in cells:
+            if plan is not None:
+                action = plan.fire("cell", f"cell:{cell.index}")
+                if action is not None and action.get("kind") == "sleep":
+                    time.sleep(float(action.get("seconds", 0.01)))
             status, payload, error, elapsed, exc = execute_cell_job(
                 self.cell_fn, cell.as_dict(), cell.seed, self.extra_params
             )
@@ -492,10 +627,23 @@ class CampaignDispatcher:
         if self._pre_fork is not None:
             self._pre_fork()
         parent_conn, child_conn = multiprocessing.Pipe()
-        proc = multiprocessing.Process(
-            target=_dispatch_worker,
-            args=(child_conn, self.cell_fn, self.extra_params),
-        )
+        if (
+            self.fault_plan is not None
+            and self.fault_plan.fire("spawn", "spawn")
+        ):
+            # Injected spawn failure: the child dies at birth, exactly
+            # like a broken cell-function import or an OOM-killed fork.
+            proc = multiprocessing.Process(
+                target=_doomed_worker, args=(child_conn,)
+            )
+        else:
+            proc = multiprocessing.Process(
+                target=_dispatch_worker,
+                args=(
+                    child_conn, self.cell_fn, self.extra_params,
+                    self._worker_fault_spec, self._heartbeat_interval,
+                ),
+            )
         # Daemonic as an interpreter-exit backstop only: close() is the
         # real teardown, but a caller that never closes must not
         # deadlock interpreter shutdown on the atexit join of a
@@ -505,6 +653,38 @@ class CampaignDispatcher:
         proc.start()
         child_conn.close()
         return _Worker(proc, parent_conn)
+
+    def _inject_dispatch_fault(self, worker: _Worker, cell) -> None:
+        """Fire the ``dispatch`` site right after a job send.
+
+        ``sigkill``/``sigstop`` actions hit the worker mid-cell from
+        the parent side, exactly like the OOM killer or an operator's
+        stray signal would.  A SIGSTOP with neither watchdog armed
+        would hang the loop forever, so it is refused loudly.
+        """
+        if self.fault_plan is None or worker.pid is None:
+            return
+        action = self.fault_plan.fire("dispatch", f"cell:{cell.index}")
+        if action is None:
+            return
+        kind = action.get("kind")
+        if kind == "sigstop":
+            if self.stall_timeout is None and self.cell_timeout is None:
+                raise ConfigurationError(
+                    "fault plan injects SIGSTOP but neither "
+                    "stall_timeout nor cell_timeout is armed — the "
+                    "dispatcher would wait on the stopped worker "
+                    "forever; arm a stall watchdog to run this plan"
+                )
+            sig = signal.SIGSTOP
+        elif kind == "sigkill":
+            sig = signal.SIGKILL
+        else:
+            return
+        try:
+            os.kill(worker.pid, sig)
+        except (ProcessLookupError, OSError):
+            pass
 
     def _run_pool(self, cells, on_result, hook) -> int:
         source = iter(cells)
@@ -533,6 +713,9 @@ class CampaignDispatcher:
 
         # worker -> (cell, started, deadline-or-None) for in-flight cells.
         busy: Dict[_Worker, Tuple[Any, float, Optional[float]]] = {}
+        # worker -> monotonic time of its last message (the job send
+        # counts as one); only consulted when the watchdog is armed.
+        last_seen: Dict[_Worker, float] = {}
         sel = selectors.DefaultSelector()
 
         def retire(worker: _Worker) -> None:
@@ -568,15 +751,19 @@ class CampaignDispatcher:
                     min(self.respawn_backoff * (2 ** (streak - 1)), 5.0)
                 )
 
-        def collect(worker: _Worker, cell, started: float) -> None:
-            """Recv one result (or a death) from a readable worker."""
-            sel.unregister(worker.conn)
+        def collect(worker: _Worker) -> None:
+            """Recv one message — result, heartbeat, or death — from a
+            readable worker.  A heartbeat only refreshes ``last_seen``;
+            the worker stays busy and registered."""
             try:
-                _, status, payload, error, elapsed, exc = worker.conn.recv()
+                msg = worker.conn.recv()
             except (EOFError, OSError):
                 # The worker died mid-cell (OOM kill, hard crash)
                 # without shipping a result; the cell checkpoints
                 # ``failed`` and the pool refills lazily.
+                cell, started, _deadline = busy.pop(worker)
+                last_seen.pop(worker, None)
+                sel.unregister(worker.conn)
                 pid = worker.pid
                 retire(worker)
                 deliver(cell, CellResult(
@@ -586,6 +773,13 @@ class CampaignDispatcher:
                 ))
                 note_death(worker, f"pid {pid} died mid-cell")
                 return
+            if len(msg) == 1:
+                last_seen[worker] = time.monotonic()
+                return
+            cell, started, _deadline = busy.pop(worker)
+            last_seen.pop(worker, None)
+            sel.unregister(worker.conn)
+            _, status, payload, error, elapsed, exc = msg
             worker.jobs_done += 1
             self._spawn_death_streak = 0
             deliver(cell, CellResult(
@@ -593,6 +787,12 @@ class CampaignDispatcher:
                 error=error, elapsed=elapsed, exception=exc,
                 worker_pid=worker.pid,
             ))
+
+        def drain(worker: _Worker) -> None:
+            """A message already in the pipe always beats a deadline or
+            the watchdog — consume everything pending."""
+            while worker in busy and worker.conn.poll():
+                collect(worker)
 
         try:
             while True:
@@ -631,41 +831,78 @@ class CampaignDispatcher:
                         else now + self.cell_timeout
                     )
                     busy[worker] = (cell, now, deadline)
+                    last_seen[worker] = now
                     sel.register(worker.conn, selectors.EVENT_READ, worker)
+                    self._inject_dispatch_fault(worker, cell)
                 if not busy:
                     break  # source drained and nothing in flight
-                # Block until a result lands or the nearest deadline
-                # expires (no deadlines => block indefinitely).
-                deadlines = [d for _, _, d in busy.values() if d is not None]
+                # Block until a result lands, the nearest deadline
+                # expires, or a watchdog check is due (nothing armed =>
+                # block indefinitely).
+                waits = [d for _, _, d in busy.values() if d is not None]
+                if self.stall_timeout is not None:
+                    waits.extend(
+                        last_seen[w] + self.stall_timeout for w in busy
+                    )
                 timeout = (
-                    max(0.0, min(deadlines) - time.monotonic())
-                    if deadlines else None
+                    max(0.0, min(waits) - time.monotonic())
+                    if waits else None
                 )
                 for key, _ in sel.select(timeout):
-                    worker = key.data
-                    cell, started, _deadline = busy.pop(worker)
-                    collect(worker, cell, started)
-                if self.cell_timeout is None:
-                    continue
-                now = time.monotonic()
-                for worker in [
-                    w for w, (_, _, d) in busy.items()
-                    if d is not None and now >= d
-                ]:
-                    cell, started, _deadline = busy.pop(worker)
-                    if worker.conn.poll():
-                        # The result landed between the select and the
-                        # deadline sweep — a result in hand always
+                    collect(key.data)
+                if self.cell_timeout is not None:
+                    now = time.monotonic()
+                    for worker in [
+                        w for w, (_, _, d) in busy.items()
+                        if d is not None and now >= d
+                    ]:
+                        # The result may have landed between the select
+                        # and this sweep — a result in hand always
                         # beats the deadline.
-                        collect(worker, cell, started)
-                        continue
-                    sel.unregister(worker.conn)
-                    pid = worker.pid
-                    retire(worker)
-                    deliver(cell, CellResult(
-                        index=cell.index, status="timed_out",
-                        elapsed=time.monotonic() - started, worker_pid=pid,
-                    ))
+                        drain(worker)
+                        if worker not in busy:
+                            continue
+                        cell, started, _deadline = busy.pop(worker)
+                        last_seen.pop(worker, None)
+                        sel.unregister(worker.conn)
+                        pid = worker.pid
+                        retire(worker)
+                        deliver(cell, CellResult(
+                            index=cell.index, status="timed_out",
+                            elapsed=time.monotonic() - started,
+                            worker_pid=pid,
+                        ))
+                if self.stall_timeout is not None:
+                    now = time.monotonic()
+                    for worker in [
+                        w for w in list(busy)
+                        if now - last_seen[w] >= self.stall_timeout
+                    ]:
+                        # Same courtesy as the deadline sweep: a late
+                        # heartbeat or the result itself, already in
+                        # the pipe, beats the watchdog.
+                        drain(worker)
+                        if worker not in busy:
+                            continue
+                        if (
+                            time.monotonic() - last_seen[worker]
+                            < self.stall_timeout
+                        ):
+                            continue  # a drained heartbeat vouched for it
+                        cell, started, _deadline = busy.pop(worker)
+                        last_seen.pop(worker, None)
+                        sel.unregister(worker.conn)
+                        pid = worker.pid
+                        retire(worker)
+                        deliver(cell, CellResult(
+                            index=cell.index, status="failed",
+                            error=(
+                                "worker stalled: no heartbeat within "
+                                f"{self.stall_timeout}s"
+                            ),
+                            elapsed=time.monotonic() - started,
+                            worker_pid=pid,
+                        ))
             return completed
         finally:
             # Exceptional unwind only: workers still mid-cell are in an

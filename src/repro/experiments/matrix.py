@@ -224,6 +224,7 @@ def run_campaign_matrix(
     in_process: bool = False,
     shard_index: int = 0,
     shard_count: int = 1,
+    stall_timeout: Optional[float] = None,
 ) -> List[Table]:
     """E18: the E1 upper-bound matrix at scale, through the campaign layer.
 
@@ -266,6 +267,7 @@ def run_campaign_matrix(
             cell_timeout, processes, max_retries, max_cells,
             in_process=in_process,
             shard_index=shard_index, shard_count=shard_count,
+            stall_timeout=stall_timeout,
             throwaway=throwaway is not None,
         )
     finally:
@@ -288,6 +290,7 @@ def _campaign_matrix_tables(
     in_process: bool = False,
     shard_index: int = 0,
     shard_count: int = 1,
+    stall_timeout: Optional[float] = None,
     throwaway: bool = False,
 ) -> List[Table]:
     # The seed axis is swept as ``trial``: each trial folds into the
@@ -315,6 +318,7 @@ def _campaign_matrix_tables(
         in_process=in_process,
         shard_index=shard_index,
         shard_count=shard_count,
+        stall_timeout=stall_timeout,
     ) as runner:
         outcomes = runner.resume(max_cells=max_cells, **axes)
 

@@ -1,0 +1,35 @@
+"""Testing infrastructure that ships with the library, not the tests.
+
+:mod:`repro.testing.faultline` is the deterministic fault-injection
+subsystem threaded through the campaign stack (dispatcher, sqlite
+stores, shard merge).  It lives in the package — not under ``tests/``
+— because operators use it too: the CI chaos smoke drives the real CLI
+under a committed fault plan via the ``REPRO_FAULTLINE`` environment
+variable, and the bench suite measures the cost of its idle hooks.
+"""
+
+from .faultline import (  # noqa: F401
+    ENV_VAR,
+    FaultClock,
+    FaultInjected,
+    FaultPlan,
+    FaultRule,
+    builtin_plan,
+    builtin_plan_names,
+    install,
+    installed,
+    resolve,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "FaultClock",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultRule",
+    "builtin_plan",
+    "builtin_plan_names",
+    "install",
+    "installed",
+    "resolve",
+]

@@ -45,5 +45,6 @@ def test_checker_skips_urls_anchors_and_code_fences(tmp_path):
         "[web](https://example.com) [anchor](#section)\n"
         "```\n[fenced](does/not/exist.md)\n```\n")
     (tmp_path / "docs" / "architecture.md").write_text("hello\n")
+    (tmp_path / "docs" / "failure-modes.md").write_text("hello\n")
     (tmp_path / "README.md").write_text("[a](docs/campaigns.md#section)\n")
     assert checker.check(tmp_path) == []

@@ -7,8 +7,8 @@ Usage::
 
 Checks, with no dependencies beyond the standard library:
 
-* ``README.md``, ``docs/campaigns.md``, and ``docs/architecture.md``
-  exist and are non-empty;
+* ``README.md``, ``docs/campaigns.md``, ``docs/architecture.md``, and
+  ``docs/failure-modes.md`` exist and are non-empty;
 * every relative markdown link in README.md, docs/*.md, ROADMAP.md and
   CHANGES.md points at a file that exists (``http(s)://`` URLs and
   pure ``#anchor`` links are skipped; a ``path#anchor`` link is checked
@@ -26,7 +26,12 @@ import re
 import sys
 from pathlib import Path
 
-REQUIRED = ("README.md", "docs/campaigns.md", "docs/architecture.md")
+REQUIRED = (
+    "README.md",
+    "docs/campaigns.md",
+    "docs/architecture.md",
+    "docs/failure-modes.md",
+)
 
 #: inline markdown links: [text](target) — images share the syntax.
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
